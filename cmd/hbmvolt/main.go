@@ -1,0 +1,253 @@
+// Command hbmvolt regenerates the tables and figures of "Understanding
+// Power Consumption and Reliability of High-Bandwidth Memory with
+// Voltage Underscaling" (DATE 2021) from the simulated VCU128 platform,
+// and exposes the three-factor trade-off planner interactively.
+//
+// Usage:
+//
+//	hbmvolt [flags] <command>
+//
+// Commands:
+//
+//	fig2        normalized power vs voltage per bandwidth (Fig. 2)
+//	fig3        normalized alpha*CL*f vs voltage (Fig. 3)
+//	fig4        faulty fraction per stack vs voltage (Fig. 4)
+//	fig5        per-PC fault atlas per pattern (Fig. 5)
+//	fig6        usable PCs per tolerable fault rate (Fig. 6)
+//	ecc         SEC-DED mitigation ablation (extension)
+//	temp        temperature sensitivity study (extension)
+//	capacity    row- vs PC-granular capacity recovery (extension)
+//	bandwidth   workload bandwidth characterization (extension)
+//	guardband   locate Vmin/Vcritical (analytic + measured)
+//	reliability run Algorithm 1 on a scaled board and print fault counts
+//	tradeoff    plan an operating point: -tol and -pcs
+//	info        platform summary (organization, bandwidth, power anchors)
+//	all         fig2..fig6 + ecc + guardband
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"hbmvolt"
+	"hbmvolt/internal/report"
+)
+
+var (
+	flagSeed  = flag.Uint64("seed", 0, "device instance seed (0 = the calibrated paper board)")
+	flagScale = flag.Uint64("scale", 256, "capacity divisor for Monte-Carlo commands (power of two; 1 = full 8 GB)")
+	flagNoise = flag.Float64("noise", 0.005, "relative measurement noise of the monitor chain (0 = exact)")
+	flagCSV   = flag.String("csv", "", "also write machine-readable data to this file (fig2/fig5)")
+	flagTol   = flag.Float64("tol", 0, "tradeoff: tolerable cell fault rate (e.g. 1e-6 for 0.0001%)")
+	flagPCs   = flag.Int("pcs", 32, "tradeoff: minimum pseudo channels required")
+	flagBatch = flag.Int("batch", 5, "reliability: batch size (paper uses 130)")
+	flagVolts = flag.Float64("volts", 0.90, "reliability: single test voltage")
+)
+
+func main() {
+	flag.Usage = usage
+	// Accept both "hbmvolt <cmd> [flags]" and "hbmvolt [flags] <cmd>".
+	args := os.Args[1:]
+	cmd := ""
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		cmd, args = args[0], args[1:]
+	}
+	if err := flag.CommandLine.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if cmd == "" {
+		if flag.NArg() != 1 {
+			usage()
+			os.Exit(2)
+		}
+		cmd = flag.Arg(0)
+	}
+	if err := run(cmd); err != nil {
+		fmt.Fprintln(os.Stderr, "hbmvolt:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: hbmvolt [flags] <fig2|fig3|fig4|fig5|fig6|ecc|temp|capacity|bandwidth|guardband|reliability|tradeoff|info|all>\n\n")
+	flag.PrintDefaults()
+}
+
+func newSystem() (*hbmvolt.System, error) {
+	return hbmvolt.New(hbmvolt.Config{
+		Seed:       *flagSeed,
+		Scale:      *flagScale,
+		NoiseSigma: *flagNoise,
+	})
+}
+
+func run(cmd string) error {
+	sys, err := newSystem()
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	switch cmd {
+	case "fig2":
+		res, err := sys.RenderFig2(out)
+		if err != nil {
+			return err
+		}
+		return maybeCSV(func(w io.Writer) error { return sys.WriteFig2CSV(w, res) })
+	case "fig3":
+		_, err := sys.RenderFig3(out)
+		return err
+	case "fig4":
+		_, err := sys.RenderFig4(out)
+		return err
+	case "fig5":
+		if err := sys.RenderFig5(out); err != nil {
+			return err
+		}
+		return maybeCSV(sys.WriteFig5CSV)
+	case "fig6":
+		return sys.RenderFig6(out)
+	case "ecc":
+		_, err := sys.RenderECCStudy(out)
+		return err
+	case "temp":
+		_, err := sys.RenderTempStudy(out)
+		return err
+	case "capacity":
+		_, err := sys.RenderCapacityStudy(out)
+		return err
+	case "bandwidth":
+		_, err := sys.RenderBandwidthStudy(out)
+		return err
+	case "guardband":
+		return runGuardband(sys)
+	case "reliability":
+		return runReliability(sys)
+	case "tradeoff":
+		return runTradeoff(sys)
+	case "info":
+		return runInfo(sys)
+	case "all":
+		for _, c := range []string{"fig2", "fig3", "fig4", "fig5", "fig6", "ecc", "temp", "capacity", "bandwidth", "guardband"} {
+			fmt.Fprintf(out, "\n===== %s =====\n", strings.ToUpper(c))
+			if err := run(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func maybeCSV(write func(io.Writer) error) error {
+	if *flagCSV == "" {
+		return nil
+	}
+	f, err := os.Create(*flagCSV)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *flagCSV)
+	return nil
+}
+
+func runGuardband(sys *hbmvolt.System) error {
+	g, err := sys.Guardband()
+	if err != nil {
+		return err
+	}
+	fmt.Println("analytic:", g)
+	// Empirical confirmation through traffic on the scaled board,
+	// scanning the edge of the safe region.
+	mg, err := sys.MeasureGuardband(0, gridAround(1.00, 0.95))
+	if err != nil {
+		return err
+	}
+	fmt.Println("measured:", mg)
+	return nil
+}
+
+func gridAround(hi, lo float64) []float64 {
+	var out []float64
+	for mv := int(hi * 1000); mv >= int(lo*1000); mv -= 10 {
+		out = append(out, float64(mv)/1000)
+	}
+	return out
+}
+
+func runReliability(sys *hbmvolt.System) error {
+	res, err := sys.RunReliability(hbmvolt.ReliabilityConfig{
+		Grid:      []float64{*flagVolts},
+		BatchSize: *flagBatch,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Algorithm 1 at %.2fV (batch %d, margin ±%.1f%% @90%%):\n",
+		*flagVolts, *flagBatch, res.Margin*100)
+	tbl := report.NewTable("port", "pattern", "mean flips", "bit fault rate", "ci low", "ci high")
+	for _, pt := range res.Points {
+		if pt.Crashed {
+			fmt.Printf("  %.2fV: DEVICE CRASHED (power cycle performed)\n", pt.Volts)
+			continue
+		}
+		for _, obs := range pt.Observations {
+			if obs.MeanFlips == 0 {
+				continue
+			}
+			tbl.AddRow(
+				fmt.Sprintf("%d", obs.Port),
+				obs.Pattern,
+				fmt.Sprintf("%.1f", obs.MeanFlips),
+				fmt.Sprintf("%.3g", obs.BitFaultRate),
+				fmt.Sprintf("%.1f", obs.Batch.CILow),
+				fmt.Sprintf("%.1f", obs.Batch.CIHigh),
+			)
+		}
+	}
+	if tbl.Len() == 0 {
+		fmt.Println("  no faults observed")
+		return nil
+	}
+	_, err = tbl.WriteTo(os.Stdout)
+	return err
+}
+
+func runTradeoff(sys *hbmvolt.System) error {
+	plan, err := sys.Plan(*flagTol, *flagPCs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tolerable rate %.3g, need >= %d PCs:\n  %s\n  PCs: %v\n",
+		*flagTol, *flagPCs, plan, plan.PCs)
+	return nil
+}
+
+func runInfo(sys *hbmvolt.System) error {
+	b := sys.Board
+	fmt.Printf("platform: VCU128-class, %d HBM stacks, %d pseudo channels, %.1f GB (scale 1/%d)\n",
+		len(b.Device.Stacks), b.Org.TotalPCs(), float64(b.Org.TotalBytes())/(1<<30), *flagScale)
+	fmt.Printf("aggregate bandwidth: %.0f GB/s (paper: 310 achieved / 429 theoretical)\n",
+		b.AggregateBandwidthGBs())
+	w, err := sys.PowerWatts()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("power at nominal, full load: %.2f W\n", w)
+	g, err := sys.Guardband()
+	if err != nil {
+		return err
+	}
+	fmt.Println(g)
+	fmt.Printf("fault-free PCs at 0.95V: %d; PCs at <=0.0001%% at 0.90V: %d\n",
+		sys.UsablePCs(0.95, 0), sys.UsablePCs(0.90, 1e-6))
+	return nil
+}

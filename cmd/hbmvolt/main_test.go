@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// silenceStdout redirects os.Stdout to /dev/null for the test and
+// restores it afterwards.
+func silenceStdout(t *testing.T) {
+	t.Helper()
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	t.Cleanup(func() {
+		os.Stdout = old
+		devnull.Close()
+	})
+}
+
+func TestRunAllCommands(t *testing.T) {
+	silenceStdout(t)
+	*flagScale = 1024
+	*flagNoise = 0
+	*flagBatch = 2
+	*flagVolts = 0.90
+	commands := []string{
+		"info", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"ecc", "temp", "capacity", "bandwidth",
+		"tradeoff", "reliability",
+	}
+	for _, cmd := range commands {
+		if err := run(cmd); err != nil {
+			t.Fatalf("command %q: %v", cmd, err)
+		}
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	silenceStdout(t)
+	err := run("bogus")
+	if err == nil || !strings.Contains(err.Error(), "unknown command") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunCSVExport(t *testing.T) {
+	silenceStdout(t)
+	*flagScale = 1024
+	*flagNoise = 0
+	path := filepath.Join(t.TempDir(), "fig2.csv")
+	*flagCSV = path
+	t.Cleanup(func() { *flagCSV = "" })
+	if err := run("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "volts,ports,") {
+		t.Fatalf("csv content: %.60s", data)
+	}
+}
+
+func TestTradeoffInfeasible(t *testing.T) {
+	silenceStdout(t)
+	*flagScale = 1024
+	*flagTol = 0
+	*flagPCs = 33
+	t.Cleanup(func() { *flagTol = 0; *flagPCs = 32 })
+	if err := run("tradeoff"); err == nil {
+		t.Fatal("impossible plan accepted")
+	}
+}
+
+func TestGridAround(t *testing.T) {
+	g := gridAround(1.00, 0.95)
+	if len(g) != 6 {
+		t.Fatalf("grid length %d", len(g))
+	}
+	if g[0] != 1.00 || g[5] != 0.95 {
+		t.Fatalf("grid endpoints %v..%v", g[0], g[5])
+	}
+}

@@ -1,0 +1,205 @@
+// Eden demonstrates EDEN-style approximate computing (Koppula et al.,
+// MICRO 2019, cited by the paper as [23]): a quantized neural network
+// whose weights live in undervolted HBM tolerates bit faults gracefully,
+// so it can bank the deeper power savings the unsafe region offers.
+//
+// A small int8 linear classifier is stored twice — once in a fault-prone
+// pseudo channel and once in a robust one chosen with the fault map —
+// and evaluated on synthetic data while the supply steps down. The
+// robust placement keeps accuracy at deep undervolt, reproducing EDEN's
+// key insight that data-to-DRAM mapping controls the energy/accuracy
+// trade-off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbmvolt"
+	"hbmvolt/internal/pattern"
+	"hbmvolt/internal/prf"
+)
+
+const (
+	inputDim = 64
+	classes  = 8
+	samples  = 400
+)
+
+// model is an int8 linear classifier: score[c] = Σ w[c][i]·x[i].
+type model struct {
+	weights [classes][inputDim]int8
+}
+
+// teacher builds the ground-truth model deterministically.
+func teacher() *model {
+	m := &model{}
+	src := prf.NewSource(42)
+	for c := 0; c < classes; c++ {
+		for i := 0; i < inputDim; i++ {
+			m.weights[c][i] = int8(src.Intn(255) - 127)
+		}
+	}
+	return m
+}
+
+// classify returns the argmax class for input x.
+func (m *model) classify(x *[inputDim]int8) int {
+	best, bestScore := 0, int64(-1<<62)
+	for c := 0; c < classes; c++ {
+		var s int64
+		for i := 0; i < inputDim; i++ {
+			s += int64(m.weights[c][i]) * int64(x[i])
+		}
+		if s > bestScore {
+			best, bestScore = c, s
+		}
+	}
+	return best
+}
+
+// dataset generates deterministic inputs and teacher labels.
+func dataset(t *model) (xs [samples][inputDim]int8, labels [samples]int) {
+	src := prf.NewSource(7)
+	for n := 0; n < samples; n++ {
+		for i := 0; i < inputDim; i++ {
+			xs[n][i] = int8(src.Intn(255) - 127)
+		}
+		labels[n] = t.classify(&xs[n])
+	}
+	return xs, labels
+}
+
+// weightWords is the number of 256-bit words the flattened model needs.
+const weightWords = (classes*inputDim + 31) / 32
+
+// wordStride spreads the weight words evenly across the pseudo channel,
+// so the stored model samples the PC's whole fault geography (including
+// its weak clusters) instead of only the first few rows.
+func wordStride(sys *hbmvolt.System) uint64 {
+	stride := sys.Board.Org.WordsPerPC / weightWords
+	if stride == 0 {
+		stride = 1
+	}
+	return stride
+}
+
+// storeWeights writes the model into a pseudo channel through its AXI
+// port, 32 bytes per 256-bit word, strided across the full address
+// space.
+func storeWeights(sys *hbmvolt.System, port hbmvolt.PortID, m *model) error {
+	p := sys.Board.Ports[port]
+	stride := wordStride(sys)
+	var flat []byte
+	for c := 0; c < classes; c++ {
+		for i := 0; i < inputDim; i++ {
+			flat = append(flat, byte(m.weights[c][i]))
+		}
+	}
+	for k := uint64(0); k*32 < uint64(len(flat)); k++ {
+		var w pattern.Word
+		for b := 0; b < 32; b++ {
+			off := int(k)*32 + b
+			if off < len(flat) {
+				w[b/8] |= uint64(flat[off]) << (8 * (b % 8))
+			}
+		}
+		if err := p.WriteWord(k*stride, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadWeights reads the (possibly faulty) model back.
+func loadWeights(sys *hbmvolt.System, port hbmvolt.PortID) (*model, error) {
+	p := sys.Board.Ports[port]
+	stride := wordStride(sys)
+	m := &model{}
+	total := classes * inputDim
+	flat := make([]byte, 0, total)
+	for k := uint64(0); len(flat) < total; k++ {
+		w, err := p.ReadWord(k * stride)
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < 32 && len(flat) < total; b++ {
+			flat = append(flat, byte(w[b/8]>>(8*(b%8))))
+		}
+	}
+	k := 0
+	for c := 0; c < classes; c++ {
+		for i := 0; i < inputDim; i++ {
+			m.weights[c][i] = int8(flat[k])
+			k++
+		}
+	}
+	return m, nil
+}
+
+func accuracy(m *model, xs *[samples][inputDim]int8, labels *[samples]int) float64 {
+	hits := 0
+	for n := 0; n < samples; n++ {
+		if m.classify(&xs[n]) == labels[n] {
+			hits++
+		}
+	}
+	return float64(hits) / samples
+}
+
+func main() {
+	sys, err := hbmvolt.New(hbmvolt.Config{Scale: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := teacher()
+	xs, labels := dataset(t)
+
+	// Pick placements with the fault map: the most robust PC at 0.88 V
+	// versus a known-sensitive one (PC5).
+	const sensitive = hbmvolt.PortID(5)
+	robust := hbmvolt.PortID(0)
+	bestRate := 1.0
+	for pc := 0; pc < 32; pc++ {
+		r := sys.FaultMap().Rate(pc, 0.88, 0) // AnyFlip
+		if r < bestRate {
+			bestRate, robust = r, hbmvolt.PortID(pc)
+		}
+	}
+	fmt.Printf("weight placements: robust PC%d vs sensitive PC%d\n\n", robust, sensitive)
+
+	fmt.Println("V      saving  acc(robust)  acc(sensitive)")
+	for _, v := range []float64{1.20, 0.98, 0.95, 0.92, 0.90, 0.88, 0.86, 0.85} {
+		// (Re)store at nominal so both copies start clean, then drop.
+		if err := sys.SetVoltage(hbmvolt.VNom); err != nil {
+			log.Fatal(err)
+		}
+		if err := storeWeights(sys, robust, t); err != nil {
+			log.Fatal(err)
+		}
+		if err := storeWeights(sys, sensitive, t); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.SetVoltage(v); err != nil {
+			log.Fatal(err)
+		}
+		mr, err := loadWeights(sys, robust)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms, err := loadWeights(sys, sensitive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		watts, err := sys.PowerWatts()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.2f   %.2fx   %6.1f%%      %6.1f%%\n",
+			v, 17.36/watts,
+			100*accuracy(mr, &xs, &labels),
+			100*accuracy(ms, &xs, &labels))
+	}
+	fmt.Println("\nEDEN-style conclusion: placing weights on fault-map-selected PCs")
+	fmt.Println("preserves accuracy while harvesting unsafe-region power savings.")
+}

@@ -1,0 +1,54 @@
+// Faultmap renders the per-PC fault atlas (Fig. 5) plus a spatial view
+// of the weak-cell clusters inside one pseudo channel — the paper's
+// observation that faults concentrate in small regions of the HBM
+// layers, which is what makes capacity/fault-rate trading possible at
+// sub-PC granularity.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"hbmvolt"
+)
+
+func main() {
+	sys, err := hbmvolt.New(hbmvolt.Config{Scale: 1}) // full-size atlas
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := sys.RenderFig5(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Spatial cluster view for one sensitive PC: each character covers an
+	// equal slice of the 256 MB address space; '#' marks weak clusters.
+	const stack, pc = 0, 5 // global PC5
+	fm := sys.Board.Faults
+	ranges := fm.ClusterRanges(stack, pc)
+	rows := fm.Geometry().RowsPerPC()
+	const width = 100
+	cells := make([]byte, width)
+	for i := range cells {
+		cells[i] = '.'
+	}
+	for _, r := range ranges {
+		lo := int(r[0] * width / rows)
+		hi := int((r[1] - 1) * width / rows)
+		for i := lo; i <= hi && i < width; i++ {
+			cells[i] = '#'
+		}
+	}
+	fmt.Printf("weak-cell clusters of PC%d (%d regions, %.1f%% of rows):\n",
+		pc, len(ranges), 100*fm.ClusterCoverage(stack, pc))
+	fmt.Printf("  |%s|\n", string(cells))
+	fmt.Printf("  0%s256MB\n", strings.Repeat(" ", width-7))
+
+	// How concentrated are the faults at a moderate undervolt?
+	share := fm.ClusteredFaultShare(stack, pc, 0.92)
+	fmt.Printf("\nat 0.92V, %.0f%% of PC%d's faults fall inside %.1f%% of its rows\n",
+		share*100, pc, 100*fm.ClusterCoverage(stack, pc))
+}

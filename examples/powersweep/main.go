@@ -1,0 +1,56 @@
+// Powersweep regenerates the paper's Fig. 2 and Fig. 3 measurements and
+// writes them as CSV for external plotting, demonstrating the
+// measurement loop a real host would run over PMBus + INA226.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hbmvolt"
+)
+
+func main() {
+	sys, err := hbmvolt.New(hbmvolt.Config{
+		Scale:      256,
+		NoiseSigma: 0.005, // realistic monitor noise
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Full 10 mV resolution, all five bandwidth points, like the real
+	// experiment (the figures in the paper display every 50 mV).
+	res, err := sys.RunPowerSweep(hbmvolt.PowerSweepConfig{
+		Grid:       hbmvolt.PaperGrid(),
+		PortCounts: []int{0, 8, 16, 24, 32},
+		Samples:    10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const path = "fig2_fig3.csv"
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sys.WriteFig2CSV(f, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d points)\n", path, len(res.Points))
+
+	// Headline numbers.
+	for _, v := range []float64{0.98, 0.85} {
+		s, err := res.SavingsAt(v, 32)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("savings at %.2fV: %.2fx\n", v, s)
+	}
+	pt := res.At(0.85, 32)
+	fmt.Printf("alpha*CL*f at 0.85V: %.3f of nominal (stuck cells stop switching)\n",
+		pt.NormAlphaCLF)
+}

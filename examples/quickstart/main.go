@@ -1,0 +1,61 @@
+// Quickstart: build the simulated VCU128 platform, undervolt the HBM
+// rail step by step, and watch power drop and faults appear — the
+// paper's experiment in twenty lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbmvolt"
+)
+
+func main() {
+	sys, err := hbmvolt.New(hbmvolt.Config{Scale: 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("V      power(W)  saving  fault-free PCs  usable @0.0001%")
+	for _, v := range []float64{1.20, 1.10, 1.00, 0.98, 0.95, 0.90, 0.85} {
+		if err := sys.SetVoltage(v); err != nil {
+			log.Fatal(err)
+		}
+		watts, err := sys.PowerWatts()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v == 1.20 {
+			fmt.Printf("%.2f   %6.2f    1.00x        %2d              %2d\n",
+				v, watts, sys.UsablePCs(v, 0), sys.UsablePCs(v, 1e-6))
+			continue
+		}
+		nominal := 17.36
+		fmt.Printf("%.2f   %6.2f    %.2fx        %2d              %2d\n",
+			v, watts, nominal/watts, sys.UsablePCs(v, 0), sys.UsablePCs(v, 1e-6))
+	}
+
+	g, err := sys.Guardband()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(g)
+
+	plan, err := sys.Plan(1e-6, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan for a fault-tolerant app needing half the memory:")
+	fmt.Println(" ", plan)
+
+	// Crash behaviour below V_critical — and the recovery procedure.
+	if err := sys.SetVoltage(0.80); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nat 0.80V: crashed=%v (restore requires a power cycle)\n", sys.Crashed())
+	if err := sys.PowerCycle(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after power cycle: crashed=%v\n", sys.Crashed())
+}

@@ -1,0 +1,141 @@
+// Safealloc demonstrates a fault-map-aware memory allocator: instead of
+// discarding whole pseudo channels that show any fault (the paper's
+// Fig. 6 granularity), it consults the weak-cluster map and hands out
+// only rows outside the clusters. Because undervolting faults
+// concentrate in ~8% of rows (§III-B), this recovers almost the whole
+// device in the unsafe region — the capacity side of the three-factor
+// trade-off at its practical best.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbmvolt"
+	"hbmvolt/internal/pattern"
+)
+
+// safeAllocator hands out word ranges of one pseudo channel that avoid
+// the weak clusters entirely.
+type safeAllocator struct {
+	sys         *hbmvolt.System
+	port        hbmvolt.PortID
+	wordsPerRow uint64
+	// safe holds [lo, hi) word ranges outside every weak cluster.
+	safe [][2]uint64
+	// next allocation cursor: index into safe and offset within it.
+	idx int
+	off uint64
+}
+
+func newSafeAllocator(sys *hbmvolt.System, port hbmvolt.PortID) *safeAllocator {
+	fm := sys.Board.Faults
+	org := sys.Board.Org
+	stack, pc := port.StackPC(org)
+	a := &safeAllocator{sys: sys, port: port, wordsPerRow: org.WordsPerRow}
+
+	// Complement of the cluster row ranges, converted to word ranges.
+	rows := org.RowsPerPC()
+	cursor := uint64(0)
+	for _, r := range fm.ClusterRanges(stack, pc) {
+		if r[0] > cursor {
+			a.safe = append(a.safe, [2]uint64{cursor * org.WordsPerRow, r[0] * org.WordsPerRow})
+		}
+		cursor = r[1]
+	}
+	if cursor < rows {
+		a.safe = append(a.safe, [2]uint64{cursor * org.WordsPerRow, rows * org.WordsPerRow})
+	}
+	return a
+}
+
+// capacityWords returns the total safe capacity.
+func (a *safeAllocator) capacityWords() uint64 {
+	var n uint64
+	for _, r := range a.safe {
+		n += r[1] - r[0]
+	}
+	return n
+}
+
+// alloc returns the next n safe word addresses (nil when exhausted).
+func (a *safeAllocator) alloc(n uint64) []uint64 {
+	out := make([]uint64, 0, n)
+	for uint64(len(out)) < n && a.idx < len(a.safe) {
+		r := a.safe[a.idx]
+		addr := r[0] + a.off
+		if addr >= r[1] {
+			a.idx++
+			a.off = 0
+			continue
+		}
+		out = append(out, addr)
+		a.off++
+	}
+	if uint64(len(out)) < n {
+		return nil
+	}
+	return out
+}
+
+func main() {
+	sys, err := hbmvolt.New(hbmvolt.Config{Scale: 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const port = hbmvolt.PortID(5) // sensitive PC5: worst case for naive use
+
+	alloc := newSafeAllocator(sys, port)
+	org := sys.Board.Org
+	fmt.Printf("PC%d: %d of %d words are outside weak clusters (%.1f%%)\n",
+		port, alloc.capacityWords(), org.WordsPerPC,
+		100*float64(alloc.capacityWords())/float64(org.WordsPerPC))
+
+	// Compare two placements of the same dataset on the same (sensitive)
+	// pseudo channel: strided across the whole PC (clusters included)
+	// versus through the cluster-avoiding allocator. Each placement is
+	// written at nominal voltage and read back undervolted, one at a
+	// time, so the measurements cannot disturb each other.
+	const words = 1 << 14
+	data := pattern.Random(99)
+	p := sys.Board.Ports[port]
+
+	naive := make([]uint64, words)
+	for i := range naive {
+		naive[i] = uint64(i) * (org.WordsPerPC / words)
+	}
+	safe := alloc.alloc(words)
+	if safe == nil {
+		log.Fatal("safe capacity exhausted")
+	}
+
+	measure := func(addrs []uint64, v float64) int {
+		if err := sys.SetVoltage(hbmvolt.VNom); err != nil {
+			log.Fatal(err)
+		}
+		for i, addr := range addrs {
+			if err := p.WriteWord(addr, data.Word(uint64(i))); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := sys.SetVoltage(v); err != nil {
+			log.Fatal(err)
+		}
+		flips := 0
+		for i, addr := range addrs {
+			w, err := p.ReadWord(addr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			flips += pattern.Compare(data.Word(uint64(i)), w).Total()
+		}
+		return flips
+	}
+
+	fmt.Println("\nV      naive placement   cluster-avoiding placement")
+	for _, v := range []float64{0.98, 0.94, 0.92, 0.90, 0.88} {
+		fmt.Printf("%.2f   %6d flips      %6d flips\n", v, measure(naive, v), measure(safe, v))
+	}
+	fmt.Println("\nrows outside the weak clusters stay clean through the unsafe region,")
+	fmt.Println("so a fault-map-aware allocator banks the power savings without ECC.")
+}

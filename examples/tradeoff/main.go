@@ -1,0 +1,60 @@
+// Tradeoff walks the three-factor power/capacity/fault-rate design
+// space of §III-C for a set of application profiles, from crash-
+// intolerant databases to fault-tolerant video analytics, and prints
+// the deepest safe operating point for each.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hbmvolt"
+)
+
+// profile describes an application's memory requirements.
+type profile struct {
+	name string
+	// tolerableRate is the cell fault rate the application survives
+	// (0 = must be fault-free).
+	tolerableRate float64
+	// minPCs is the number of 256 MB pseudo channels it needs.
+	minPCs int
+}
+
+func main() {
+	sys, err := hbmvolt.New(hbmvolt.Config{Scale: 1024})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	profiles := []profile{
+		// The paper's own examples (§III-C):
+		{"in-memory DB (needs all 8 GB, zero faults)", 0, 32},
+		{"HPC kernel (zero faults, small footprint)", 0, 7},
+		{"video analytics (0.0001% ok, half capacity)", 1e-6, 16},
+		// Further points on the frontier:
+		{"NN inference (0.01% ok, quarter capacity)", 1e-4, 8},
+		{"approximate analytics (1% ok, 2 PCs)", 1e-2, 2},
+	}
+
+	fmt.Println("application profile                                   operating point")
+	fmt.Println("----------------------------------------------------  ------------------------------------------")
+	for _, p := range profiles {
+		plan, err := sys.Plan(p.tolerableRate, p.minPCs)
+		if err != nil {
+			fmt.Printf("%-53s  no feasible point: %v\n", p.name, err)
+			continue
+		}
+		fmt.Printf("%-53s  %s\n", p.name, plan)
+	}
+
+	// The same query, expressed as "how much can I save if...":
+	fmt.Println("\nsavings frontier at half capacity (16 PCs):")
+	for _, tol := range []float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3} {
+		plan, err := sys.Plan(tol, 16)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  tolerate %8.1g → run at %.2fV, save %.2fx\n", tol, plan.Volts, plan.Savings)
+	}
+}

@@ -1,0 +1,288 @@
+package hbmvolt
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"hbmvolt/internal/core"
+	"hbmvolt/internal/faults"
+	"hbmvolt/internal/report"
+)
+
+// Figure regeneration: each RenderFigN writes the paper's corresponding
+// table/plot, computed from this module's models, to w. The CLI
+// (cmd/hbmvolt) and the benchmark harness (bench_test.go) both call
+// these, so "regenerate figure N" is one function call everywhere.
+
+// fig2PortCounts are the bandwidth operating points of Fig. 2/3: 0, 25,
+// 50, 75, 100% utilization.
+var fig2PortCounts = []int{0, 8, 16, 24, 32}
+
+// RenderFig2 regenerates Fig. 2 (normalized HBM power vs voltage per
+// bandwidth utilization) from INA226 measurements and writes a table and
+// chart.
+func (s *System) RenderFig2(w io.Writer) (*PowerSweepResult, error) {
+	res, err := s.RunPowerSweep(PowerSweepConfig{
+		Grid:       DisplayGrid(),
+		PortCounts: fig2PortCounts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("V", "idle", "25%BW", "50%BW", "75%BW", "100%BW", "savings")
+	chart := &report.Chart{
+		Title:  "Fig. 2 — HBM power (normalized to 1.20V @ 310GB/s) vs supply voltage",
+		XLabel: "supply voltage (V), descending",
+		X:      DisplayGrid(),
+		Height: 14,
+	}
+	series := make([]report.Series, len(fig2PortCounts))
+	for i, ports := range fig2PortCounts {
+		series[i] = report.Series{Name: fmt.Sprintf("%d%% BW", ports*100/32)}
+	}
+	for _, v := range DisplayGrid() {
+		row := []string{fmt.Sprintf("%.2f", v)}
+		for i, ports := range fig2PortCounts {
+			pt := res.At(v, ports)
+			if pt == nil {
+				row = append(row, "-")
+				series[i].Values = append(series[i].Values, 0)
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", pt.NormPower))
+			series[i].Values = append(series[i].Values, pt.NormPower)
+		}
+		if pt := res.At(v, 32); pt != nil {
+			row = append(row, fmt.Sprintf("%.2fx", pt.Savings))
+		}
+		tbl.AddRow(row...)
+	}
+	chart.Series = series
+	if _, err := tbl.WriteTo(w); err != nil {
+		return nil, err
+	}
+	_, err = chart.WriteTo(w)
+	return res, err
+}
+
+// RenderFig3 regenerates Fig. 3 (normalized α·C_L·f vs voltage per
+// bandwidth).
+func (s *System) RenderFig3(w io.Writer) (*PowerSweepResult, error) {
+	res, err := s.RunPowerSweep(PowerSweepConfig{
+		Grid:       DisplayGrid(),
+		PortCounts: fig2PortCounts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("V", "idle", "25%BW", "50%BW", "75%BW", "100%BW")
+	for _, v := range DisplayGrid() {
+		row := []string{fmt.Sprintf("%.2f", v)}
+		for _, ports := range fig2PortCounts {
+			pt := res.At(v, ports)
+			if pt == nil {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.3f", pt.NormAlphaCLF))
+		}
+		tbl.AddRow(row...)
+	}
+	if _, err := tbl.WriteTo(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "Fig. 3 — α·C_L·f normalized per bandwidth; <1.0 below the guardband")
+	fmt.Fprintln(w, "reflects stuck cells no longer switching (14% drop at 0.85V).")
+	return res, nil
+}
+
+// RenderFig4 regenerates Fig. 4 (fraction of faulty cells per stack vs
+// voltage) analytically over the full-capacity device.
+func (s *System) RenderFig4(w io.Writer) ([]core.StackCurve, error) {
+	curves, err := core.Fig4Curves(s.atlas, nil)
+	if err != nil {
+		return nil, err
+	}
+	grid := curves[0].Grid
+	tbl := report.NewTable("V", "HBM0 faulty", "HBM1 faulty")
+	for i, v := range grid {
+		tbl.AddRow(
+			fmt.Sprintf("%.2f", v),
+			formatFrac(curves[0].Fractions[i]),
+			formatFrac(curves[1].Fractions[i]),
+		)
+	}
+	if _, err := tbl.WriteTo(w); err != nil {
+		return nil, err
+	}
+	chart := &report.Chart{
+		Title:  "Fig. 4 — faulty fraction per stack (log scale)",
+		XLabel: "supply voltage (V), descending",
+		X:      grid,
+		Series: []report.Series{
+			{Name: "HBM0", Values: curves[0].Fractions},
+			{Name: "HBM1", Values: curves[1].Fractions},
+		},
+		Height: 14,
+		LogY:   true,
+	}
+	_, err = chart.WriteTo(w)
+	return curves, err
+}
+
+func formatFrac(f float64) string {
+	switch {
+	case f == 0:
+		return "0"
+	case f < 1e-4:
+		return strconv.FormatFloat(f, 'e', 2, 64)
+	default:
+		return fmt.Sprintf("%.2f%%", f*100)
+	}
+}
+
+// RenderFig5 regenerates Fig. 5 (per-PC faulty-cell percentages per
+// pattern and voltage, NF = no fault, <1% shown as 0).
+func (s *System) RenderFig5(w io.Writer) error {
+	for _, kind := range []faults.FlipKind{faults.OneToZero, faults.ZeroToOne} {
+		tblData, err := core.BuildFig5Table(s.atlas, nil, kind)
+		if err != nil {
+			return err
+		}
+		label := "1→0 flips (all-1s pattern)"
+		if kind == faults.ZeroToOne {
+			label = "0→1 flips (all-0s pattern)"
+		}
+		fmt.Fprintf(w, "Fig. 5 — %% faulty cells per pseudo channel, %s\n", label)
+		header := []string{"V"}
+		for pc := 0; pc < faults.NumPCs; pc++ {
+			header = append(header, fmt.Sprintf("P%d", pc))
+		}
+		tbl := report.NewTable(header...)
+		for i, v := range tblData.Grid {
+			row := []string{fmt.Sprintf("%.2f", v)}
+			for pc := 0; pc < faults.NumPCs; pc++ {
+				row = append(row, tblData.Cells[i][pc].Display())
+			}
+			tbl.AddRow(row...)
+		}
+		if _, err := tbl.WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// RenderFig6 regenerates Fig. 6 (usable PCs out of 32 under tolerable
+// fault rates vs voltage).
+func (s *System) RenderFig6(w io.Writer) error {
+	grid := s.fmap.Grid()
+	series := s.fmap.UsableSeries(nil)
+	header := []string{"V"}
+	names := []string{"0 (fault-free)", "1e-5%", "0.0001%", "0.001%", "0.01%", "0.1%", "1%"}
+	header = append(header, names...)
+	tbl := report.NewTable(header...)
+	for i, v := range grid {
+		row := []string{fmt.Sprintf("%.2f", v)}
+		for t := range series {
+			row = append(row, strconv.Itoa(series[t][i]))
+		}
+		tbl.AddRow(row...)
+	}
+	if _, err := tbl.WriteTo(w); err != nil {
+		return err
+	}
+	chartSeries := make([]report.Series, len(series))
+	for t := range series {
+		vals := make([]float64, len(series[t]))
+		for i, n := range series[t] {
+			vals[i] = float64(n)
+		}
+		chartSeries[t] = report.Series{Name: names[t], Values: vals}
+	}
+	chart := &report.Chart{
+		Title:  "Fig. 6 — usable PCs (of 32) per tolerable fault rate",
+		XLabel: "supply voltage (V), descending",
+		X:      grid,
+		Series: chartSeries,
+		Height: 12,
+	}
+	_, err := chart.WriteTo(w)
+	return err
+}
+
+// RenderECCStudy writes the SEC-DED mitigation ablation: raw vs post-ECC
+// behaviour per voltage and the extended safe region.
+func (s *System) RenderECCStudy(w io.Writer) (*ECCStudy, error) {
+	study, err := s.RunECCStudy()
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable("V", "raw faults (E)", "correctable (E)", "uncorrectable (E)")
+	for _, pt := range study.Points {
+		if pt.Volts < 0.90 {
+			break // the interesting band for SEC-DED
+		}
+		tbl.AddRow(
+			fmt.Sprintf("%.2f", pt.Volts),
+			formatCount(pt.ExpectedRawFaults),
+			formatCount(pt.ExpectedCorrectable),
+			formatCount(pt.ExpectedUncorrectable),
+		)
+	}
+	if _, err := tbl.WriteTo(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "SEC-DED(72,64) extends fault-free operation %.2fV → %.2fV (%.2fx → %.2fx safe savings, 12.5%% capacity overhead)\n",
+		study.VMinRaw, study.VMinECC,
+		(VNom/study.VMinRaw)*(VNom/study.VMinRaw), study.ExtraSafeSavings)
+	return study, nil
+}
+
+func formatCount(f float64) string {
+	switch {
+	case f == 0:
+		return "0"
+	case f < 0.01 || f >= 1e6:
+		return strconv.FormatFloat(f, 'e', 2, 64)
+	default:
+		return strconv.FormatFloat(f, 'f', 2, 64)
+	}
+}
+
+// WriteFig2CSV emits the Fig. 2 data as CSV (volts, ports, utilization,
+// watts, normalized power, savings).
+func (s *System) WriteFig2CSV(w io.Writer, res *PowerSweepResult) error {
+	c := report.NewCSV(w)
+	c.Row("volts", "ports", "utilization", "watts", "norm_power", "norm_alpha_clf", "savings")
+	for _, pt := range res.Points {
+		c.Row(pt.Volts, pt.Ports, pt.Utilization, pt.Watts, pt.NormPower, pt.NormAlphaCLF, pt.Savings)
+	}
+	return c.Flush()
+}
+
+// WriteFig5CSV emits the per-PC fault atlas as CSV rows (volts, pc,
+// kind, percent, nf).
+func (s *System) WriteFig5CSV(w io.Writer) error {
+	c := report.NewCSV(w)
+	c.Row("volts", "pc", "kind", "percent", "nf")
+	for _, kind := range []faults.FlipKind{faults.OneToZero, faults.ZeroToOne} {
+		tbl, err := core.BuildFig5Table(s.atlas, nil, kind)
+		if err != nil {
+			return err
+		}
+		for i, v := range tbl.Grid {
+			for pc := 0; pc < faults.NumPCs; pc++ {
+				cell := tbl.Cells[i][pc]
+				nf := 0
+				if cell.NF {
+					nf = 1
+				}
+				c.Row(v, pc, kind.String(), cell.Percent, nf)
+			}
+		}
+	}
+	return c.Flush()
+}

@@ -1,0 +1,310 @@
+package axi
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hbmvolt/internal/faults"
+	"hbmvolt/internal/hbm"
+	"hbmvolt/internal/pattern"
+)
+
+func testDevice(t testing.TB, scale uint64) *hbm.Device {
+	t.Helper()
+	org, err := hbm.Scaled(scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faults.DefaultConfig()
+	cfg.Geometry = faults.Geometry{WordsPerPC: org.WordsPerPC, WordsPerRow: org.WordsPerRow}
+	fm, err := faults.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := hbm.NewDevice(org, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func testPort(t testing.TB, dev *hbm.Device, id hbm.PortID) *Port {
+	t.Helper()
+	p, err := NewPort(id, dev, nil, PortConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPortValidation(t *testing.T) {
+	dev := testDevice(t, 1024)
+	if _, err := NewPort(32, dev, nil, PortConfig{}); err == nil {
+		t.Fatal("port 32 accepted")
+	}
+	if _, err := NewPort(-1, dev, nil, PortConfig{}); err == nil {
+		t.Fatal("negative port accepted")
+	}
+	if _, err := NewPort(0, dev, nil, PortConfig{ClockMHz: -5}); err == nil {
+		t.Fatal("negative clock accepted")
+	}
+}
+
+func TestPortRoundTrip(t *testing.T) {
+	dev := testDevice(t, 1024)
+	p := testPort(t, dev, 7)
+	pat := pattern.Random(1)
+	for a := uint64(0); a < 128; a++ {
+		if err := p.WriteWord(a, pat.Word(a)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for a := uint64(0); a < 128; a++ {
+		w, err := p.ReadWord(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != pat.Word(a) {
+			t.Fatalf("mismatch at %d", a)
+		}
+	}
+}
+
+func TestPortIsolation(t *testing.T) {
+	// Ports write to distinct pseudo channels: no cross-talk.
+	dev := testDevice(t, 1024)
+	p0 := testPort(t, dev, 0)
+	p1 := testPort(t, dev, 1)
+	if err := p0.WriteWord(5, pattern.AllOnesWord); err != nil {
+		t.Fatal(err)
+	}
+	w, err := p1.ReadWord(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != pattern.AllZerosWord {
+		t.Fatal("write on port 0 visible on port 1")
+	}
+}
+
+func TestPortDisable(t *testing.T) {
+	dev := testDevice(t, 1024)
+	p := testPort(t, dev, 0)
+	p.SetEnabled(false)
+	if err := p.WriteWord(0, pattern.AllOnesWord); err == nil {
+		t.Fatal("disabled port accepted write")
+	}
+	if _, err := p.ReadWord(0); err == nil {
+		t.Fatal("disabled port accepted read")
+	}
+	p.SetEnabled(true)
+	if err := p.WriteWord(0, pattern.AllOnesWord); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateBandwidthMatchesPaper(t *testing.T) {
+	dev := testDevice(t, 1024)
+	total := 0.0
+	for id := hbm.PortID(0); id < 32; id++ {
+		p := testPort(t, dev, id)
+		total += p.EffectiveBandwidthGBs()
+	}
+	if math.Abs(total-310) > 2 {
+		t.Fatalf("aggregate port bandwidth = %v GB/s, want ≈310 (paper)", total)
+	}
+}
+
+func TestSwitchDisabledIdentity(t *testing.T) {
+	sw := NewSwitch()
+	for i := hbm.PortID(0); i < 32; i++ {
+		if sw.Route(i) != i {
+			t.Fatal("disabled switch does not route identity")
+		}
+	}
+	if err := sw.SetRoute(0, 5); err == nil {
+		t.Fatal("SetRoute on disabled switch accepted")
+	}
+	if sw.Throughput(100) != 100 {
+		t.Fatal("disabled switch derated throughput")
+	}
+}
+
+func TestSwitchRouting(t *testing.T) {
+	dev := testDevice(t, 1024)
+	sw := NewSwitch()
+	sw.Enabled = true
+	if err := sw.SetRoute(0, 17); err != nil {
+		t.Fatal(err)
+	}
+	p0, err := NewPort(0, dev, sw, PortConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p0.WriteWord(9, pattern.AllOnesWord); err != nil {
+		t.Fatal(err)
+	}
+	// The write must land in stack 1, pc 1 (global PC 17).
+	w, err := dev.Stacks[1].ReadWord(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != pattern.AllOnesWord {
+		t.Fatal("routed write did not reach PC17")
+	}
+	if sw.Throughput(100) >= 100 {
+		t.Fatal("enabled switch must cost bandwidth")
+	}
+	if err := sw.SetRoute(0, 99); err == nil {
+		t.Fatal("out-of-range route accepted")
+	}
+}
+
+func TestTrafficGenFillCheckCleanAtNominal(t *testing.T) {
+	dev := testDevice(t, 1024)
+	tg := NewTrafficGen(testPort(t, dev, 3))
+	st, err := tg.Run(FillCheckProgram(pattern.AllOnes(), 0, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.WordsWritten != 1024 || st.WordsRead != 1024 {
+		t.Fatalf("words = %d/%d", st.WordsWritten, st.WordsRead)
+	}
+	if st.Flips.Total() != 0 || st.FaultyWords != 0 {
+		t.Fatalf("faults at nominal voltage: %+v", st.Flips)
+	}
+	if st.ElapsedSeconds() <= 0 {
+		t.Fatal("no elapsed time accounted")
+	}
+	if st.BandwidthGBs() <= 0 {
+		t.Fatal("no bandwidth computed")
+	}
+}
+
+func TestTrafficGenSeesUndervoltFaults(t *testing.T) {
+	dev := testDevice(t, 64)
+	dev.SetVoltage(0.88)
+	tg := NewTrafficGen(testPort(t, dev, 4)) // sensitive PC4
+	st, err := tg.Run(FillCheckProgram(pattern.AllOnes(), 0, dev.Org.WordsPerPC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Flips.OneToZero == 0 {
+		t.Fatal("no 1→0 flips on sensitive PC at 0.88V")
+	}
+	if st.Flips.ZeroToOne != 0 {
+		t.Fatal("0→1 flips under all-1s pattern are impossible")
+	}
+	if st.FaultyWords == 0 || st.FaultyWords > st.WordsRead {
+		t.Fatalf("faulty words = %d", st.FaultyWords)
+	}
+	if st.FaultBitRate() <= 0 {
+		t.Fatal("fault bit rate not computed")
+	}
+}
+
+func TestTrafficGenResetClearsStats(t *testing.T) {
+	dev := testDevice(t, 1024)
+	tg := NewTrafficGen(testPort(t, dev, 0))
+	if _, err := tg.Run(FillCheckProgram(pattern.AllZeros(), 0, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tg.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if tg.Stats() != (Stats{}) {
+		t.Fatalf("stats after reset: %+v", tg.Stats())
+	}
+}
+
+func TestTrafficGenCrashedStackError(t *testing.T) {
+	dev := testDevice(t, 1024)
+	dev.SetVoltage(0.79) // below V_critical
+	tg := NewTrafficGen(testPort(t, dev, 0))
+	_, err := tg.Run(FillCheckProgram(pattern.AllOnes(), 0, 16))
+	if err == nil {
+		t.Fatal("traffic on crashed stack succeeded")
+	}
+	if !strings.Contains(err.Error(), "crash") {
+		t.Fatalf("error does not mention crash: %v", err)
+	}
+}
+
+func TestTrafficGenProgramValidation(t *testing.T) {
+	dev := testDevice(t, 1024)
+	tg := NewTrafficGen(testPort(t, dev, 0))
+	if _, err := tg.Run([]Macro{{Op: OpWriteSeq, Count: 4}}); err == nil {
+		t.Fatal("write without pattern accepted")
+	}
+	if _, err := tg.Run([]Macro{{Op: OpReadCheck, Count: 4}}); err == nil {
+		t.Fatal("check without pattern accepted")
+	}
+	if _, err := tg.Run([]Macro{{Op: MacroOp(99)}}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := tg.Run([]Macro{{Op: OpNop}}); err != nil {
+		t.Fatal("nop rejected")
+	}
+}
+
+func TestStatsAddAndRates(t *testing.T) {
+	var s Stats
+	s.Add(Stats{WordsWritten: 10, WordsRead: 20, FaultyWords: 2,
+		Flips: pattern.Flips{OneToZero: 3, ZeroToOne: 1}, AXISeconds: 1, DRAMSeconds: 0.5})
+	s.Add(Stats{WordsRead: 20, AXISeconds: 1, DRAMSeconds: 3})
+	if s.WordsRead != 40 || s.WordsWritten != 10 {
+		t.Fatalf("add broken: %+v", s)
+	}
+	if s.ElapsedSeconds() != 3.5 {
+		t.Fatalf("elapsed = %v, want max(axi,dram)=3.5", s.ElapsedSeconds())
+	}
+	wantRate := 4.0 / (40 * 256)
+	if math.Abs(s.FaultBitRate()-wantRate) > 1e-12 {
+		t.Fatalf("fault rate = %v", s.FaultBitRate())
+	}
+}
+
+func TestMacroOpString(t *testing.T) {
+	ops := map[MacroOp]string{
+		OpWriteSeq: "write-seq", OpReadCheck: "read-check",
+		OpReadSeq: "read-seq", OpNop: "nop",
+	}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Fatalf("%d.String() = %q", op, op.String())
+		}
+	}
+}
+
+func TestReadSeqCountsNoFaults(t *testing.T) {
+	dev := testDevice(t, 64)
+	dev.SetVoltage(0.88)
+	tg := NewTrafficGen(testPort(t, dev, 4))
+	st, err := tg.Run([]Macro{{Op: OpReadSeq, Start: 0, Count: 4096}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Flips.Total() != 0 {
+		t.Fatal("read-seq must not check")
+	}
+	if st.WordsRead != 4096 {
+		t.Fatalf("words read = %d", st.WordsRead)
+	}
+}
+
+func BenchmarkTrafficGenFillCheck(b *testing.B) {
+	dev := testDevice(b, 1024)
+	dev.SetVoltage(0.90)
+	tg := NewTrafficGen(testPort(b, dev, 4))
+	prog := FillCheckProgram(pattern.AllOnes(), 0, dev.Org.WordsPerPC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tg.Reset(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tg.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

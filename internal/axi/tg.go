@@ -1,0 +1,195 @@
+package axi
+
+import (
+	"fmt"
+
+	"hbmvolt/internal/pattern"
+)
+
+// MacroOp enumerates the traffic-generator macro commands. The paper's
+// controllers configure each TG with macro commands and read statistics
+// back (§II-B); these are the operations Algorithm 1 is built from.
+type MacroOp uint8
+
+const (
+	// OpWriteSeq writes Count words of Pattern starting at Start.
+	OpWriteSeq MacroOp = iota
+	// OpReadCheck reads Count words from Start and compares them against
+	// Pattern, accumulating flip statistics.
+	OpReadCheck
+	// OpReadSeq reads Count words without checking (bandwidth traffic).
+	OpReadSeq
+	// OpNop does nothing (program padding / alignment).
+	OpNop
+)
+
+// String implements fmt.Stringer.
+func (o MacroOp) String() string {
+	switch o {
+	case OpWriteSeq:
+		return "write-seq"
+	case OpReadCheck:
+		return "read-check"
+	case OpReadSeq:
+		return "read-seq"
+	default:
+		return "nop"
+	}
+}
+
+// Macro is one traffic-generator command.
+type Macro struct {
+	Op      MacroOp
+	Start   uint64
+	Count   uint64
+	Pattern pattern.Pattern
+}
+
+// Stats aggregates what a traffic generator observed. The FPGA-side
+// design keeps exactly these raw counters and ships them to the host,
+// because the HBM bandwidth far exceeds the host link (§II-C).
+type Stats struct {
+	WordsWritten uint64
+	WordsRead    uint64
+	// Flips classifies every mismatched bit from OpReadCheck.
+	Flips pattern.Flips
+	// FaultyWords counts words with at least one flipped bit.
+	FaultyWords uint64
+	// AXISeconds is the port-clock-limited transfer time.
+	AXISeconds float64
+	// DRAMSeconds is the memory-side busy time.
+	DRAMSeconds float64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.WordsWritten += o.WordsWritten
+	s.WordsRead += o.WordsRead
+	s.Flips.Add(o.Flips)
+	s.FaultyWords += o.FaultyWords
+	s.AXISeconds += o.AXISeconds
+	s.DRAMSeconds += o.DRAMSeconds
+}
+
+// ElapsedSeconds is the wall time of the traffic: the slower of the AXI
+// and DRAM sides.
+func (s Stats) ElapsedSeconds() float64 {
+	if s.AXISeconds > s.DRAMSeconds {
+		return s.AXISeconds
+	}
+	return s.DRAMSeconds
+}
+
+// BandwidthGBs is the achieved data rate over the elapsed time.
+func (s Stats) BandwidthGBs() float64 {
+	sec := s.ElapsedSeconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(s.WordsWritten+s.WordsRead) * 32 / sec / 1e9
+}
+
+// FaultBitRate is the fraction of checked bits that flipped.
+func (s Stats) FaultBitRate() float64 {
+	if s.WordsRead == 0 {
+		return 0
+	}
+	return float64(s.Flips.Total()) / (float64(s.WordsRead) * pattern.WordBits)
+}
+
+// TrafficGen drives one AXI port with macro-command programs.
+type TrafficGen struct {
+	port  *Port
+	stats Stats
+}
+
+// NewTrafficGen wraps a port.
+func NewTrafficGen(p *Port) *TrafficGen { return &TrafficGen{port: p} }
+
+// Port returns the underlying port.
+func (tg *TrafficGen) Port() *Port { return tg.port }
+
+// Reset clears statistics and timing state, as Algorithm 1 does between
+// batches.
+func (tg *TrafficGen) Reset() error {
+	tg.stats = Stats{}
+	return tg.port.ResetTiming()
+}
+
+// Stats returns the counters accumulated since the last Reset.
+func (tg *TrafficGen) Stats() Stats { return tg.stats }
+
+// Run executes a macro program. Execution stops at the first device
+// error (e.g. a crashed stack), returning both the partial statistics
+// and the error.
+func (tg *TrafficGen) Run(prog []Macro) (Stats, error) {
+	for i, m := range prog {
+		if err := tg.run1(m); err != nil {
+			return tg.stats, fmt.Errorf("axi: macro %d (%v): %w", i, m.Op, err)
+		}
+	}
+	return tg.stats, nil
+}
+
+func (tg *TrafficGen) run1(m Macro) error {
+	switch m.Op {
+	case OpNop:
+		return nil
+	case OpWriteSeq:
+		if m.Pattern == nil {
+			return fmt.Errorf("write-seq without pattern")
+		}
+		dramBefore := tg.port.DRAMSeconds()
+		for a := m.Start; a < m.Start+m.Count; a++ {
+			if err := tg.port.WriteWord(a, m.Pattern.Word(a)); err != nil {
+				return err
+			}
+			tg.stats.WordsWritten++
+		}
+		tg.addTime(m.Count, dramBefore)
+		return nil
+	case OpReadSeq, OpReadCheck:
+		if m.Op == OpReadCheck && m.Pattern == nil {
+			return fmt.Errorf("read-check without pattern")
+		}
+		dramBefore := tg.port.DRAMSeconds()
+		for a := m.Start; a < m.Start+m.Count; a++ {
+			w, err := tg.port.ReadWord(a)
+			if err != nil {
+				return err
+			}
+			tg.stats.WordsRead++
+			if m.Op == OpReadCheck {
+				f := pattern.Compare(m.Pattern.Word(a), w)
+				if f.Total() > 0 {
+					tg.stats.FaultyWords++
+					tg.stats.Flips.Add(f)
+				}
+			}
+		}
+		tg.addTime(m.Count, dramBefore)
+		return nil
+	default:
+		return fmt.Errorf("unknown macro op %d", m.Op)
+	}
+}
+
+// addTime accounts the wall time of count beats: the AXI side moves one
+// word per clock (derated by the switch), while the DRAM side is what
+// the timing model says it spent.
+func (tg *TrafficGen) addTime(count uint64, dramBefore float64) {
+	rate := tg.port.sw.Throughput(tg.port.clockMHz * 1e6)
+	if rate > 0 {
+		tg.stats.AXISeconds += float64(count) / rate
+	}
+	tg.stats.DRAMSeconds += tg.port.DRAMSeconds() - dramBefore
+}
+
+// FillCheckProgram builds the canonical Algorithm 1 inner program: write
+// the pattern over [start, start+count), then read it back and check.
+func FillCheckProgram(p pattern.Pattern, start, count uint64) []Macro {
+	return []Macro{
+		{Op: OpWriteSeq, Start: start, Count: count, Pattern: p},
+		{Op: OpReadCheck, Start: start, Count: count, Pattern: p},
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"errors"
+	"math"
+
+	"hbmvolt/internal/faults"
+)
+
+// CapacityPoint compares fault-free capacity at one voltage under two
+// allocation granularities.
+type CapacityPoint struct {
+	Volts float64
+	// PCGranularBytes is the capacity from whole fault-free pseudo
+	// channels (the Fig. 6 / §III-C view).
+	PCGranularBytes float64
+	// RowGranularBytes is the expected capacity from fault-free 1 KB
+	// rows: since faults concentrate in weak clusters, most rows of
+	// even a "faulty" PC are still clean.
+	RowGranularBytes float64
+}
+
+// CapacityStudy quantifies the capacity-recovery extension of the
+// paper's trade-off: row-granular fault maps recover most of the memory
+// that PC-granular exclusion throws away, because faults cluster in
+// small regions (§III-B).
+type CapacityStudy struct {
+	Points []CapacityPoint
+	// TotalBytes is the device capacity.
+	TotalBytes float64
+}
+
+// RunCapacityStudy evaluates both granularities across the grid.
+func RunCapacityStudy(fm *faults.Model, grid []float64) (*CapacityStudy, error) {
+	if fm == nil {
+		return nil, errors.New("core: fault model is nil")
+	}
+	if grid == nil {
+		grid = faults.PaperGrid()
+	}
+	geo := fm.Geometry()
+	bytesPerPC := float64(geo.WordsPerPC) * 32
+	bitsPerRow := float64(geo.WordsPerRow) * 256
+
+	study := &CapacityStudy{TotalBytes: bytesPerPC * faults.NumPCs}
+	for _, v := range grid {
+		pt := CapacityPoint{Volts: v}
+		for s := 0; s < faults.NumStacks; s++ {
+			for pc := 0; pc < faults.PCsPerStack; pc++ {
+				if fm.PCFaultFree(s, pc, v) {
+					pt.PCGranularBytes += bytesPerPC
+				}
+				in, out, cov := fm.RegionRates(s, pc, v, faults.AnyFlip)
+				// Expected fraction of rows with zero faulty cells
+				// (Poisson approximation per row).
+				cleanFrac := cov*math.Exp(-bitsPerRow*in) + (1-cov)*math.Exp(-bitsPerRow*out)
+				pt.RowGranularBytes += bytesPerPC * cleanFrac
+			}
+		}
+		study.Points = append(study.Points, pt)
+	}
+	return study, nil
+}
+
+// At returns the point for the given voltage, or nil.
+func (s *CapacityStudy) At(v float64) *CapacityPoint {
+	for i := range s.Points {
+		if s.Points[i].Volts == v {
+			return &s.Points[i]
+		}
+	}
+	return nil
+}

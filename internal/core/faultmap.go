@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hbmvolt/internal/faults"
+	"hbmvolt/internal/power"
+)
+
+// Fig6Tolerances are the tolerable fault rates the trade-off study
+// sweeps, as cell-fault fractions (1e-6 = the paper's "0.0001%").
+var Fig6Tolerances = []float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
+
+// FaultMap is the per-PC × voltage fault atlas of §III-C: the practical
+// information an application developer needs to trade power against
+// capacity and fault rate.
+type FaultMap struct {
+	model *faults.Model
+	pm    *power.Model
+	grid  []float64
+}
+
+// NewFaultMap builds the atlas over the given voltage grid (nil = the
+// paper's grid). The power model may be nil if plans don't need savings
+// figures.
+func NewFaultMap(fm *faults.Model, pm *power.Model, grid []float64) (*FaultMap, error) {
+	if fm == nil {
+		return nil, errors.New("core: fault model is nil")
+	}
+	if grid == nil {
+		grid = faults.PaperGrid()
+	}
+	return &FaultMap{model: fm, pm: pm, grid: grid}, nil
+}
+
+// Grid returns the voltage grid.
+func (f *FaultMap) Grid() []float64 { return f.grid }
+
+// Rate returns the expected faulty-cell fraction of global PC g at
+// voltage v for the given flip class.
+func (f *FaultMap) Rate(g int, v float64, kind faults.FlipKind) float64 {
+	return f.model.CellRate(g/faults.PCsPerStack, g%faults.PCsPerStack, v, kind)
+}
+
+// UsablePCs counts PCs meeting the tolerable fault rate at v (Fig. 6).
+func (f *FaultMap) UsablePCs(v, tolerable float64) int {
+	return f.model.UsablePCs(v, tolerable)
+}
+
+// UsableSeries returns, for each tolerance, the usable-PC count at every
+// grid voltage — the Fig. 6 curve family.
+func (f *FaultMap) UsableSeries(tolerances []float64) [][]int {
+	if tolerances == nil {
+		tolerances = Fig6Tolerances
+	}
+	out := make([][]int, len(tolerances))
+	for i, tol := range tolerances {
+		row := make([]int, len(f.grid))
+		for j, v := range f.grid {
+			row[j] = f.model.UsablePCs(v, tol)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Plan is the outcome of a three-factor trade-off query: the deepest
+// safe operating point for an application's fault tolerance and
+// capacity floor.
+type Plan struct {
+	// Volts is the chosen supply voltage.
+	Volts float64
+	// PCs lists the usable pseudo channels (global indices).
+	PCs []int
+	// CapacityBytes is the usable memory under the plan.
+	CapacityBytes uint64
+	// Savings is the power-saving factor versus nominal voltage.
+	Savings float64
+	// WorstRate is the highest expected fault rate among the chosen PCs.
+	WorstRate float64
+}
+
+// String summarizes a plan.
+func (p Plan) String() string {
+	return fmt.Sprintf("%.2fV, %d PCs (%.1f GB), %.2fx power saving, worst fault rate %.3g",
+		p.Volts, len(p.PCs), float64(p.CapacityBytes)/(1<<30), p.Savings, p.WorstRate)
+}
+
+// Plan finds the lowest grid voltage at which at least minPCs pseudo
+// channels tolerate the given fault rate, and returns the corresponding
+// operating point. Usable counts shrink monotonically with voltage, so
+// the result is the unique frontier point.
+func (f *FaultMap) Plan(tolerable float64, minPCs int) (Plan, error) {
+	if minPCs < 1 || minPCs > faults.NumPCs {
+		return Plan{}, fmt.Errorf("core: minPCs %d out of [1,%d]", minPCs, faults.NumPCs)
+	}
+	if tolerable < 0 {
+		return Plan{}, fmt.Errorf("core: negative tolerable rate")
+	}
+	best := -1.0
+	for _, v := range f.grid {
+		if v < faults.VCritical {
+			continue
+		}
+		if f.model.UsablePCs(v, tolerable) >= minPCs {
+			if best < 0 || v < best {
+				best = v
+			}
+		}
+	}
+	if best < 0 {
+		return Plan{}, fmt.Errorf("core: no voltage supports %d PCs at tolerance %g", minPCs, tolerable)
+	}
+	list := f.model.UsablePCList(best, tolerable)
+	plan := Plan{Volts: best}
+	for _, sp := range list {
+		g := sp[0]*faults.PCsPerStack + sp[1]
+		plan.PCs = append(plan.PCs, g)
+		if r := f.model.CellRate(sp[0], sp[1], best, faults.AnyFlip); r > plan.WorstRate {
+			plan.WorstRate = r
+		}
+	}
+	sort.Ints(plan.PCs)
+	plan.CapacityBytes = uint64(len(plan.PCs)) * f.model.Geometry().WordsPerPC * 32
+	if f.pm != nil {
+		plan.Savings = f.pm.Savings(best, 1)
+	}
+	return plan, nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hbmvolt/internal/axi"
+	"hbmvolt/internal/board"
+	"hbmvolt/internal/faults"
+	"hbmvolt/internal/hbm"
+	"hbmvolt/internal/pattern"
+)
+
+// Guardband describes the safe operating region of the device (§III-B).
+type Guardband struct {
+	// VNom is the nominal supply voltage.
+	VNom float64
+	// VMin is the minimum safe voltage: the lowest grid point with zero
+	// faults.
+	VMin float64
+	// VCritical is the minimum voltage at which the device responds.
+	VCritical float64
+	// Fraction is (VNom - VMin) / VNom; the paper reports ~19%.
+	Fraction float64
+	// SafeSavings is the power saving available inside the guardband,
+	// (VNom/VMin)².
+	SafeSavings float64
+}
+
+// String summarizes the region.
+func (g Guardband) String() string {
+	return fmt.Sprintf("guardband %.2fV→%.2fV (%.1f%% of nominal, %.2fx safe savings); V_critical %.2fV",
+		g.VNom, g.VMin, g.Fraction*100, g.SafeSavings, g.VCritical)
+}
+
+// FindGuardband locates V_min analytically: the lowest grid voltage at
+// which the expected device-wide fault count is zero.
+func FindGuardband(fm *faults.Model) (Guardband, error) {
+	if fm == nil {
+		return Guardband{}, errors.New("core: fault model is nil")
+	}
+	g := Guardband{VNom: faults.VNom, VCritical: faults.VCritical}
+	vmin := faults.VNom
+	for _, v := range faults.PaperGrid() {
+		if fm.GlobalStuckFraction(v) > 0 {
+			break
+		}
+		vmin = v
+	}
+	g.VMin = vmin
+	g.Fraction = (g.VNom - g.VMin) / g.VNom
+	g.SafeSavings = (g.VNom / g.VMin) * (g.VNom / g.VMin)
+	return g, nil
+}
+
+// MeasureGuardband locates V_min empirically, running the fill/check
+// test on every port at each voltage step until the first observed
+// fault, exactly as the paper's bring-up procedure does. wordsPerPort
+// bounds the per-step work (0 = full pseudo channels); grid is the
+// descending ladder to scan (nil = the full paper grid).
+func MeasureGuardband(b *board.Board, wordsPerPort uint64, grid []float64) (Guardband, error) {
+	if b == nil {
+		return Guardband{}, errors.New("core: board is nil")
+	}
+	if wordsPerPort == 0 {
+		wordsPerPort = b.Org.WordsPerPC
+	}
+	if grid == nil {
+		grid = faults.PaperGrid()
+	}
+	g := Guardband{VNom: faults.VNom, VCritical: faults.VCritical}
+	vmin := faults.VNom
+	defer func() {
+		_ = b.SetHBMVoltage(faults.VNom)
+	}()
+	for _, v := range grid {
+		if err := b.SetHBMVoltage(v); err != nil {
+			return g, err
+		}
+		if b.Crashed() {
+			if err := b.PowerCycle(); err != nil {
+				return g, err
+			}
+			break
+		}
+		clean := true
+		for _, pat := range []pattern.Pattern{pattern.AllOnes(), pattern.AllZeros()} {
+			for port := 0; port < hbm.MaxPorts && clean; port++ {
+				tg := b.TGs[port]
+				tg.Port().SetEnabled(true)
+				if err := tg.Reset(); err != nil {
+					return g, err
+				}
+				st, err := tg.Run(axi.FillCheckProgram(pat, 0, wordsPerPort))
+				if err != nil {
+					return g, err
+				}
+				if st.Flips.Total() > 0 {
+					clean = false
+				}
+			}
+			if !clean {
+				break
+			}
+		}
+		if !clean {
+			break
+		}
+		vmin = v
+	}
+	g.VMin = vmin
+	g.Fraction = (g.VNom - g.VMin) / g.VNom
+	g.SafeSavings = (g.VNom / g.VMin) * (g.VNom / g.VMin)
+	return g, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+
+	"hbmvolt/internal/faults"
+)
+
+// StackCurve is one stack's faulty-cell fraction across the voltage grid
+// (Fig. 4).
+type StackCurve struct {
+	Stack     int
+	Grid      []float64
+	Fractions []float64
+}
+
+// Fig4Curves computes the per-stack fault-fraction curves analytically
+// over the full-capacity device.
+func Fig4Curves(fm *faults.Model, grid []float64) ([]StackCurve, error) {
+	if fm == nil {
+		return nil, errors.New("core: fault model is nil")
+	}
+	if grid == nil {
+		grid = faults.PaperGrid()
+	}
+	curves := make([]StackCurve, faults.NumStacks)
+	for s := 0; s < faults.NumStacks; s++ {
+		c := StackCurve{Stack: s, Grid: grid}
+		for _, v := range grid {
+			c.Fractions = append(c.Fractions, fm.StackFaultFraction(s, v, faults.AnyFlip))
+		}
+		curves[s] = c
+	}
+	return curves, nil
+}
+
+// Fig5Cell is one entry of the per-PC fault atlas: the expected faulty-
+// cell percentage of one pseudo channel at one voltage under one
+// pattern, with the paper's presentation semantics (NF for no expected
+// faults; values under 1% reported as 0).
+type Fig5Cell struct {
+	// Percent is the exact expected faulty-cell percentage.
+	Percent float64
+	// NF marks "no fault": fewer than 0.5 expected faulty cells in the
+	// whole PC.
+	NF bool
+}
+
+// Display renders the cell the way the paper's Fig. 5 does.
+func (c Fig5Cell) Display() string {
+	switch {
+	case c.NF:
+		return "NF"
+	case c.Percent < 1:
+		return "0"
+	default:
+		return itoaPct(c.Percent)
+	}
+}
+
+// itoaPct formats a percentage with no decimals (Fig. 5 style).
+func itoaPct(p float64) string {
+	n := int(p + 0.5)
+	if n > 100 {
+		n = 100
+	}
+	// Small local formatter to avoid fmt in a hot path.
+	if n == 0 {
+		return "0"
+	}
+	buf := [3]byte{}
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Fig5Table holds the atlas for one flip class: rows are voltages,
+// columns are the 32 pseudo channels.
+type Fig5Table struct {
+	Kind  faults.FlipKind
+	Grid  []float64
+	Cells [][faults.NumPCs]Fig5Cell
+}
+
+// BuildFig5Table computes the atlas analytically. kind selects the
+// pattern: OneToZero corresponds to the all-1s test, ZeroToOne to
+// all-0s, AnyFlip to their union.
+func BuildFig5Table(fm *faults.Model, grid []float64, kind faults.FlipKind) (*Fig5Table, error) {
+	if fm == nil {
+		return nil, errors.New("core: fault model is nil")
+	}
+	if grid == nil {
+		// Fig. 5 covers the unsafe region only.
+		grid = faults.VoltageGrid(faults.VFirst10, faults.VAllFaulty)
+	}
+	t := &Fig5Table{Kind: kind, Grid: grid}
+	bits := fm.Geometry().BitsPerPC()
+	for _, v := range grid {
+		var row [faults.NumPCs]Fig5Cell
+		for g := 0; g < faults.NumPCs; g++ {
+			rate := fm.CellRate(g/faults.PCsPerStack, g%faults.PCsPerStack, v, kind)
+			row[g] = Fig5Cell{
+				Percent: rate * 100,
+				NF:      rate*bits < 0.5,
+			}
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// SensitiveSeparation quantifies the §III-B variability claim at one
+// voltage: the ratio between the weakest "sensitive" PC and the
+// strongest remaining PC.
+func SensitiveSeparation(fm *faults.Model, v float64) float64 {
+	sens := map[int]bool{}
+	for _, g := range faults.SensitivePCs {
+		sens[g] = true
+	}
+	minSens, maxOther := -1.0, 0.0
+	for g := 0; g < faults.NumPCs; g++ {
+		r := fm.CellRate(g/faults.PCsPerStack, g%faults.PCsPerStack, v, faults.AnyFlip)
+		if sens[g] {
+			if minSens < 0 || r < minSens {
+				minSens = r
+			}
+		} else if r > maxOther {
+			maxOther = r
+		}
+	}
+	if maxOther == 0 {
+		return 0
+	}
+	return minSens / maxOther
+}

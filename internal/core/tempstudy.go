@@ -1,0 +1,69 @@
+package core
+
+import (
+	"errors"
+
+	"hbmvolt/internal/faults"
+)
+
+// TempPoint is the device behaviour at one operating temperature.
+type TempPoint struct {
+	TempC float64
+	// VMin is the guardband edge at this temperature.
+	VMin float64
+	// GuardbandFraction is (VNom - VMin) / VNom.
+	GuardbandFraction float64
+	// SafeSavings is the power saving available inside the guardband.
+	SafeSavings float64
+	// RateAt090 is the device-average cell fault rate at 0.90 V, showing
+	// how the unsafe region deepens with heat.
+	RateAt090 float64
+}
+
+// TempStudy sweeps operating temperature — the variable the paper holds
+// at 35±1 °C — quantifying how much guardband a hotter deployment
+// loses. At the paper's reference temperature the study reproduces the
+// paper's V_min exactly.
+type TempStudy struct {
+	Points []TempPoint
+}
+
+// DefaultTemps spans a realistic deployment envelope.
+var DefaultTemps = []float64{25, 30, 35, 40, 45, 50, 55}
+
+// RunTempStudy evaluates guardband and fault-rate landmarks across
+// temperatures, holding the device instance (seed, variation profile)
+// fixed.
+func RunTempStudy(base faults.Config, temps []float64) (*TempStudy, error) {
+	if temps == nil {
+		temps = DefaultTemps
+	}
+	if len(temps) == 0 {
+		return nil, errors.New("core: no temperatures to study")
+	}
+	study := &TempStudy{}
+	for _, t := range temps {
+		cfg := base
+		cfg.Temperature = t
+		fm, err := faults.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		g, err := FindGuardband(fm)
+		if err != nil {
+			return nil, err
+		}
+		var rate float64
+		for s := 0; s < faults.NumStacks; s++ {
+			rate += fm.StackFaultFraction(s, 0.90, faults.AnyFlip) / faults.NumStacks
+		}
+		study.Points = append(study.Points, TempPoint{
+			TempC:             t,
+			VMin:              g.VMin,
+			GuardbandFraction: g.Fraction,
+			SafeSavings:       g.SafeSavings,
+			RateAt090:         rate,
+		})
+	}
+	return study, nil
+}

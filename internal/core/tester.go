@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hbmvolt/internal/axi"
+	"hbmvolt/internal/board"
+	"hbmvolt/internal/faults"
+	"hbmvolt/internal/hbm"
+	"hbmvolt/internal/pattern"
+	"hbmvolt/internal/stats"
+)
+
+// ReliabilityConfig configures Algorithm 1.
+type ReliabilityConfig struct {
+	// Board under test.
+	Board *board.Board
+	// Ports to exercise; nil means all 32 (the paper's whole-HBM test;
+	// a single entry reproduces the per-PC test).
+	Ports []hbm.PortID
+	// Patterns to probe; nil means {all-1s, all-0s} as in the paper.
+	Patterns []pattern.Pattern
+	// WordsPerPort is memSize per port; 0 means the full pseudo channel.
+	WordsPerPort uint64
+	// BatchSize is the repetition count; 0 means 5 (use PaperBatchSize
+	// for the full methodology — it is just slower).
+	BatchSize int
+	// Grid is the voltage ladder, descending; nil means the paper's
+	// 1.20 V → 0.81 V sweep.
+	Grid []float64
+	// Parallel runs the ports of each (voltage, pattern) step
+	// concurrently, as the 32 hardware traffic generators do. Results
+	// are identical to sequential execution (ports are independent and
+	// the fault model is deterministic); only wall time changes.
+	Parallel bool
+}
+
+func (c *ReliabilityConfig) fill() error {
+	if c.Board == nil {
+		return errors.New("core: ReliabilityConfig.Board is nil")
+	}
+	if c.Ports == nil {
+		for i := 0; i < hbm.MaxPorts; i++ {
+			c.Ports = append(c.Ports, hbm.PortID(i))
+		}
+	}
+	if c.Patterns == nil {
+		c.Patterns = []pattern.Pattern{pattern.AllOnes(), pattern.AllZeros()}
+	}
+	if c.WordsPerPort == 0 {
+		c.WordsPerPort = c.Board.Org.WordsPerPC
+	}
+	if c.WordsPerPort > c.Board.Org.WordsPerPC {
+		return fmt.Errorf("core: WordsPerPort %d exceeds PC capacity %d",
+			c.WordsPerPort, c.Board.Org.WordsPerPC)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 5
+	}
+	if c.Grid == nil {
+		c.Grid = faults.PaperGrid()
+	}
+	return nil
+}
+
+// PortObservation is the batch-averaged outcome of one (port, pattern)
+// test at one voltage.
+type PortObservation struct {
+	Port        hbm.PortID
+	Pattern     string
+	MeanFlips   float64
+	MeanFaulty  float64 // words with >= 1 flip
+	WordsPerRun uint64
+	// BitFaultRate is MeanFlips / (WordsPerRun*256).
+	BitFaultRate float64
+	// Batch summarizes the per-run total flip counts.
+	Batch stats.Summary
+}
+
+// VoltagePoint is everything observed at one supply voltage.
+type VoltagePoint struct {
+	Volts        float64
+	Crashed      bool
+	Observations []PortObservation
+	// MeanFlips aggregates both patterns and all ports per run.
+	MeanFlips   float64
+	BitsChecked float64
+	// Flips10/Flips01 are the batch-mean 1→0 / 0→1 counts.
+	Flips10, Flips01 float64
+}
+
+// FaultRate returns the overall bit fault rate at this voltage.
+func (p VoltagePoint) FaultRate() float64 {
+	if p.BitsChecked == 0 {
+		return 0
+	}
+	return p.MeanFlips / p.BitsChecked
+}
+
+// ReliabilityResult is the outcome of a full Algorithm 1 sweep.
+type ReliabilityResult struct {
+	Points []VoltagePoint
+	// Margin is the statistical error margin of the batch size at
+	// DefaultConfidence.
+	Margin float64
+}
+
+// Point returns the voltage point for v, or nil.
+func (r *ReliabilityResult) Point(v float64) *VoltagePoint {
+	for i := range r.Points {
+		if r.Points[i].Volts == v {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// RunReliability executes Algorithm 1: for each voltage of the grid (top
+// down), repeat batchSize times {reset ports; write pattern; read back
+// and count mismatches}, for every configured pattern and port. A crash
+// (voltage below V_critical) is recorded and the board power-cycled, as
+// the paper's procedure requires.
+func RunReliability(cfg ReliabilityConfig) (*ReliabilityResult, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	b := cfg.Board
+	margin, err := stats.MarginOfError(cfg.BatchSize, DefaultConfidence)
+	if err != nil {
+		return nil, err
+	}
+	res := &ReliabilityResult{Margin: margin}
+
+	for _, v := range cfg.Grid {
+		if err := b.SetHBMVoltage(v); err != nil {
+			return nil, fmt.Errorf("core: setting %vV: %w", v, err)
+		}
+		pt := VoltagePoint{Volts: v}
+		if b.Crashed() {
+			// Below V_critical the stacks stop responding; restoring the
+			// voltage does not help — power cycle and move on.
+			pt.Crashed = true
+			res.Points = append(res.Points, pt)
+			if err := b.PowerCycle(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+
+		for _, pat := range cfg.Patterns {
+			observations, err := runPorts(b, cfg.Ports, pat, cfg.WordsPerPort, cfg.BatchSize, cfg.Parallel)
+			if err != nil {
+				return nil, fmt.Errorf("core: pattern %s at %vV: %w", pat.Name(), v, err)
+			}
+			for _, obs := range observations {
+				pt.Observations = append(pt.Observations, obs)
+				pt.MeanFlips += obs.MeanFlips
+				pt.BitsChecked += float64(obs.WordsPerRun) * pattern.WordBits
+				switch pat.Name() {
+				case "all1":
+					pt.Flips10 += obs.MeanFlips
+				case "all0":
+					pt.Flips01 += obs.MeanFlips
+				}
+			}
+		}
+		res.Points = append(res.Points, pt)
+	}
+
+	// Leave the board at nominal conditions.
+	if err := b.SetHBMVoltage(faults.VNom); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runPorts runs the batched fill/check of Algorithm 1 on the given
+// ports, optionally driving them concurrently within each batch
+// repetition (the hardware's natural mode: all traffic generators run
+// at once).
+func runPorts(b *board.Board, ports []hbm.PortID, pat pattern.Pattern, words uint64, batch int, parallel bool) ([]PortObservation, error) {
+	type acc struct {
+		flips, faulty float64
+		runs          []float64
+	}
+	accs := make([]acc, len(ports))
+
+	saved := make([]bool, len(ports))
+	for i, p := range ports {
+		saved[i] = b.TGs[p].Port().Enabled()
+		b.TGs[p].Port().SetEnabled(true)
+	}
+	defer func() {
+		for i, p := range ports {
+			b.TGs[p].Port().SetEnabled(saved[i])
+		}
+	}()
+
+	for rep := 0; rep < batch; rep++ {
+		b.Device.SetBatchRep(uint64(rep))
+		results := make([]axi.Stats, len(ports))
+		errs := make([]error, len(ports))
+		if parallel {
+			var wg sync.WaitGroup
+			for i, p := range ports {
+				wg.Add(1)
+				go func(i int, p hbm.PortID) {
+					defer wg.Done()
+					results[i], errs[i] = runOnePass(b.TGs[p], pat, words)
+				}(i, p)
+			}
+			wg.Wait()
+		} else {
+			for i, p := range ports {
+				results[i], errs[i] = runOnePass(b.TGs[p], pat, words)
+			}
+		}
+		for i, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("port %d: %w", ports[i], err)
+			}
+		}
+		for i, st := range results {
+			accs[i].flips += float64(st.Flips.Total())
+			accs[i].faulty += float64(st.FaultyWords)
+			accs[i].runs = append(accs[i].runs, float64(st.Flips.Total()))
+		}
+	}
+	b.Device.SetBatchRep(0)
+
+	out := make([]PortObservation, len(ports))
+	for i, p := range ports {
+		sum, err := stats.Summarize(accs[i].runs, DefaultConfidence)
+		if err != nil {
+			return nil, err
+		}
+		n := float64(batch)
+		out[i] = PortObservation{
+			Port:         p,
+			Pattern:      pat.Name(),
+			MeanFlips:    accs[i].flips / n,
+			MeanFaulty:   accs[i].faulty / n,
+			WordsPerRun:  words,
+			BitFaultRate: accs[i].flips / n / (float64(words) * pattern.WordBits),
+			Batch:        sum,
+		}
+	}
+	return out, nil
+}
+
+// runOnePass executes one fill/check pass on a traffic generator.
+func runOnePass(tg *axi.TrafficGen, pat pattern.Pattern, words uint64) (axi.Stats, error) {
+	if err := tg.Reset(); err != nil {
+		return axi.Stats{}, err
+	}
+	return tg.Run(axi.FillCheckProgram(pat, 0, words))
+}

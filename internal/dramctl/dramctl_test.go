@@ -1,0 +1,203 @@
+package dramctl
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimingValidate(t *testing.T) {
+	if err := DefaultTiming().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultTiming()
+	bad.ClockMHz = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+	bad = DefaultTiming()
+	bad.TCCDL, bad.TCCDS = 1, 3
+	if err := bad.Validate(); err == nil {
+		t.Fatal("TCCDL < TCCDS accepted")
+	}
+	bad = DefaultTiming()
+	bad.TRFCNs = bad.TREFINs + 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("tRFC >= tREFI accepted")
+	}
+}
+
+// The clock choice must reproduce the paper's 429 GB/s theoretical
+// bandwidth across 32 pseudo channels.
+func TestPeakBandwidthMatchesPaper(t *testing.T) {
+	perPC := DefaultTiming().PeakBandwidthGBs()
+	total := perPC * 32
+	if math.Abs(total-429) > 1 {
+		t.Fatalf("32-PC peak = %v GB/s, want ≈429 (paper §II-C)", total)
+	}
+}
+
+func TestNewValidatesGeometry(t *testing.T) {
+	if _, err := New(DefaultTiming(), Geometry{}); err == nil {
+		t.Fatal("empty geometry accepted")
+	}
+	if _, err := New(DefaultTiming(), DefaultGeometry); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialStreamEfficiency(t *testing.T) {
+	// A sequential read stream with bank interleaving should sustain
+	// >85% of pin bandwidth — the DRAM is not the platform bottleneck.
+	bw, st, err := SustainedBandwidthGBs(DefaultTiming(), DefaultGeometry, 1<<18, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := DefaultTiming().PeakBandwidthGBs()
+	eff := bw / peak
+	if eff < 0.85 || eff > 1.0 {
+		t.Fatalf("sequential efficiency = %v (bw %v of %v GB/s)", eff, bw, peak)
+	}
+	if st.RowHitRate() < 0.9 {
+		t.Fatalf("row hit rate = %v for sequential stream", st.RowHitRate())
+	}
+	if st.Refreshes == 0 {
+		t.Fatal("no refreshes over a long stream")
+	}
+}
+
+func TestRowMissPenalty(t *testing.T) {
+	c, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two accesses to different rows of the same bank: second must pay
+	// precharge + activate.
+	rowStride := DefaultGeometry.WordsPerRow * uint64(DefaultGeometry.BankGroups*DefaultGeometry.BanksPerGroup)
+	first := c.Access(0, Read)
+	second := c.Access(rowStride, Read) // same bank, next row
+	gap := second - first
+	min := float64(DefaultTiming().TRP + DefaultTiming().TRCDRD)
+	if gap < min {
+		t.Fatalf("same-bank row switch gap %v cycles, want >= %v", gap, min)
+	}
+	if c.Stats().RowMisses != 2 {
+		t.Fatalf("row misses = %d, want 2 (both cold)", c.Stats().RowMisses)
+	}
+}
+
+func TestRowHitFastPath(t *testing.T) {
+	c, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, Read)
+	before := c.Stats().RowHits
+	// Stride of BankGroups stays in the same bank and row (next column).
+	done1 := c.Access(4, Read)
+	done2 := c.Access(8, Read)
+	if c.Stats().RowHits != before+2 {
+		t.Fatal("same-row accesses not counted as hits")
+	}
+	// Back-to-back hits are spaced by the burst length only.
+	if gap := done2 - done1; gap > float64(DefaultTiming().TCCDL+DefaultTiming().TBurst) {
+		t.Fatalf("hit-to-hit gap %v cycles", gap)
+	}
+}
+
+func TestTurnaroundPenalty(t *testing.T) {
+	tm := DefaultTiming()
+	c, err := New(tm, DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0, Read)
+	rd := c.Access(1, Read)
+	wr := c.Access(2, Write) // read→write turnaround
+	if wr-rd < float64(tm.TRTW) {
+		t.Fatalf("read→write gap %v below TRTW %d", wr-rd, tm.TRTW)
+	}
+}
+
+func TestMonotonicCompletion(t *testing.T) {
+	c, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for addr := uint64(0); addr < 10000; addr++ {
+		done := c.Access(addr*17%4096, Read) // scattered pattern
+		if done <= prev {
+			t.Fatalf("completion went backwards at %d: %v <= %v", addr, done, prev)
+		}
+		prev = done
+	}
+}
+
+func TestRefreshOverheadBounded(t *testing.T) {
+	// Refresh steals tRFC/tREFI ≈ 6.7% of time at most.
+	bw, st, err := SustainedBandwidthGBs(DefaultTiming(), DefaultGeometry, 1<<19, Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Refreshes == 0 {
+		t.Fatal("expected refreshes")
+	}
+	peak := DefaultTiming().PeakBandwidthGBs()
+	if bw < peak*0.8 {
+		t.Fatalf("write stream bw %v too low vs peak %v", bw, peak)
+	}
+}
+
+func TestRandomStreamSlowerThanSequential(t *testing.T) {
+	seq, _, err := SustainedBandwidthGBs(DefaultTiming(), DefaultGeometry, 1<<16, Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random rows in one bank: worst case.
+	c, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := uint64(DefaultGeometry.BankGroups * DefaultGeometry.BanksPerGroup)
+	rowStride := DefaultGeometry.WordsPerRow * nb
+	for i := uint64(0); i < 1<<12; i++ {
+		c.Access(i%2*rowStride*7, Read) // ping-pong rows, same bank
+	}
+	sec := c.ElapsedSeconds()
+	worst := float64(1<<12) * 32 / sec / 1e9
+	if worst >= seq {
+		t.Fatalf("row ping-pong bw %v not below sequential %v", worst, seq)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	for addr := uint64(0); addr < n; addr++ {
+		c.Access(addr, Read)
+	}
+	st := c.Stats()
+	if st.Accesses != n {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	if st.RowHits+st.RowMisses != n {
+		t.Fatal("hits+misses != accesses")
+	}
+	if st.BusUtilization() <= 0 || st.BusUtilization() > 1 {
+		t.Fatalf("bus utilization = %v", st.BusUtilization())
+	}
+}
+
+func BenchmarkAccessSequential(b *testing.B) {
+	c, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i), Read)
+	}
+}

@@ -1,0 +1,209 @@
+// Package ecc implements the SEC-DED (single-error-correct, double-
+// error-detect) extended Hamming(72,64) code used by server memory
+// systems, as a mitigation layer for undervolting-induced stuck bits.
+//
+// The paper's related work (Salami et al. PDP'19, Chang et al.
+// POMACS'17) asks how far built-in ECC can absorb reduced-voltage
+// faults; this package powers that ablation in the benchmark harness:
+// comparing raw fault rates against post-ECC uncorrectable rates shows
+// how many extra 10 mV steps a SEC-DED layer buys.
+package ecc
+
+import "math/bits"
+
+// DataBits and CodeBits give the code geometry: 64 data bits protected
+// by 7 Hamming parity bits plus one overall parity bit.
+const (
+	DataBits = 64
+	CodeBits = 72
+)
+
+// Codeword is a 72-bit extended Hamming codeword. Bit i of the codeword
+// is bit i%64 of Lo for i < 64, else bit i-64 of Hi.
+type Codeword struct {
+	Lo uint64 // codeword bits 0..63
+	Hi uint64 // codeword bits 64..71 (low 8 bits used)
+}
+
+// Bit returns codeword bit i.
+func (c Codeword) Bit(i int) uint {
+	if i < 64 {
+		return uint(c.Lo>>i) & 1
+	}
+	return uint(c.Hi>>(i-64)) & 1
+}
+
+// FlipBit returns the codeword with bit i inverted (fault injection).
+func (c Codeword) FlipBit(i int) Codeword {
+	if i < 64 {
+		c.Lo ^= 1 << i
+	} else {
+		c.Hi ^= 1 << (i - 64)
+	}
+	return c
+}
+
+// SetBit returns the codeword with bit i forced to v (stuck-at
+// behaviour).
+func (c Codeword) SetBit(i int, v uint) Codeword {
+	if c.Bit(i) != v {
+		return c.FlipBit(i)
+	}
+	return c
+}
+
+// Codeword layout: position 0 holds the overall parity; positions that
+// are powers of two (1,2,4,...,64) hold the seven Hamming parity bits;
+// the remaining 64 positions hold data bits in ascending order.
+
+// isPow2 reports whether p is a power of two.
+func isPow2(p int) bool { return p&(p-1) == 0 }
+
+// dataPositions lists the codeword positions of the 64 data bits.
+var dataPositions = func() [DataBits]int {
+	var out [DataBits]int
+	n := 0
+	for p := 1; p < CodeBits; p++ {
+		if !isPow2(p) {
+			out[n] = p
+			n++
+		}
+	}
+	return out
+}()
+
+// Encode builds the extended Hamming codeword for 64 data bits.
+func Encode(data uint64) Codeword {
+	var c Codeword
+	for i, p := range dataPositions {
+		c = c.SetBit(p, uint(data>>i)&1)
+	}
+	// Hamming parities: parity bit at position 2^k covers every position
+	// with bit k set.
+	for k := 0; k < 7; k++ {
+		mask := 1 << k
+		parity := uint(0)
+		for p := 1; p < CodeBits; p++ {
+			if p&mask != 0 && !isPow2(p) {
+				parity ^= c.Bit(p)
+			}
+		}
+		c = c.SetBit(mask, parity)
+	}
+	// Overall parity over the whole codeword makes it SEC-DED.
+	c = c.SetBit(0, 0)
+	c = c.SetBit(0, overallParity(c))
+	return c
+}
+
+func overallParity(c Codeword) uint {
+	return uint(bits.OnesCount64(c.Lo)+bits.OnesCount64(c.Hi)) & 1
+}
+
+// Result classifies a decode.
+type Result int
+
+const (
+	// OK means the codeword was clean.
+	OK Result = iota
+	// Corrected means exactly one bit error was repaired.
+	Corrected
+	// Uncorrectable means a double error was detected (data invalid).
+	Uncorrectable
+)
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	default:
+		return "uncorrectable"
+	}
+}
+
+// Decode extracts the data bits, correcting a single-bit error and
+// detecting double-bit errors. Triple and larger errors may alias (the
+// fundamental SEC-DED limitation) — the Monte-Carlo tests quantify it.
+func Decode(cw Codeword) (uint64, Result) {
+	syndrome := 0
+	for k := 0; k < 7; k++ {
+		mask := 1 << k
+		parity := uint(0)
+		for p := 1; p < CodeBits; p++ {
+			if p&mask != 0 {
+				parity ^= cw.Bit(p)
+			}
+		}
+		if parity != 0 {
+			syndrome |= mask
+		}
+	}
+	overallErr := overallParity(cw) != 0
+
+	res := OK
+	switch {
+	case syndrome == 0 && !overallErr:
+		// clean
+	case overallErr:
+		// Odd number of errors; assume one and correct it. Syndrome 0
+		// means the overall parity bit itself flipped.
+		cw = cw.FlipBit(syndrome)
+		res = Corrected
+	default:
+		// Even number of errors with nonzero syndrome: detected, not
+		// correctable.
+		return 0, Uncorrectable
+	}
+
+	var data uint64
+	for i, p := range dataPositions {
+		data |= uint64(cw.Bit(p)) << i
+	}
+	return data, res
+}
+
+// WordFailureProb returns the probability that a 72-bit codeword whose
+// cells fail independently at the given rate is uncorrectable (two or
+// more faulty bits): 1 - (1-r)^72 - 72·r·(1-r)^71.
+func WordFailureProb(cellRate float64) float64 {
+	if cellRate <= 0 {
+		return 0
+	}
+	if cellRate >= 1 {
+		return 1
+	}
+	q := 1 - cellRate
+	q71 := pow(q, CodeBits-1)
+	return 1 - q*q71 - CodeBits*cellRate*q71
+}
+
+// CorrectableProb returns the probability of exactly one faulty bit in a
+// codeword.
+func CorrectableProb(cellRate float64) float64 {
+	if cellRate <= 0 {
+		return 0
+	}
+	if cellRate >= 1 {
+		return 0
+	}
+	return CodeBits * cellRate * pow(1-cellRate, CodeBits-1)
+}
+
+// pow is a small positive-integer power helper (avoids math.Pow in hot
+// loops).
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			r *= x
+		}
+		x *= x
+	}
+	return r
+}
+
+// Overhead is the storage cost of the code: 12.5% extra bits.
+const Overhead = float64(CodeBits-DataBits) / float64(DataBits)

@@ -1,0 +1,215 @@
+package ecc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hbmvolt/internal/prf"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	f := func(data uint64) bool {
+		got, res := Decode(Encode(data))
+		return got == data && res == OK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleErrorCorrection(t *testing.T) {
+	// Every single-bit flip in the codeword must be corrected.
+	f := func(data uint64, pos uint8) bool {
+		p := int(pos) % CodeBits
+		cw := Encode(data).FlipBit(p)
+		got, res := Decode(cw)
+		return got == data && res == Corrected
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleErrorExhaustive(t *testing.T) {
+	const data = 0xdeadbeefcafef00d
+	for p := 0; p < CodeBits; p++ {
+		got, res := Decode(Encode(data).FlipBit(p))
+		if res != Corrected || got != data {
+			t.Fatalf("flip at %d: res=%v got=%x", p, res, got)
+		}
+	}
+}
+
+func TestDoubleErrorDetection(t *testing.T) {
+	const data = 0x0123456789abcdef
+	cw := Encode(data)
+	for a := 0; a < CodeBits; a += 5 {
+		for b := a + 1; b < CodeBits; b += 7 {
+			_, res := Decode(cw.FlipBit(a).FlipBit(b))
+			if res != Uncorrectable {
+				t.Fatalf("double error (%d,%d) not detected: %v", a, b, res)
+			}
+		}
+	}
+}
+
+func TestDoubleErrorExhaustiveSample(t *testing.T) {
+	// Full exhaustive double-error check on one data value.
+	const data = 0xaaaa5555f0f00f0f
+	cw := Encode(data)
+	for a := 0; a < CodeBits; a++ {
+		for b := a + 1; b < CodeBits; b++ {
+			if _, res := Decode(cw.FlipBit(a).FlipBit(b)); res != Uncorrectable {
+				t.Fatalf("double (%d,%d) undetected", a, b)
+			}
+		}
+	}
+}
+
+func TestStuckBitMayBeBenign(t *testing.T) {
+	// A stuck-at matching the stored bit is harmless; the decode is OK.
+	cw := Encode(0)
+	// Find a position storing 0 and stick it at 0.
+	for p := 0; p < CodeBits; p++ {
+		if cw.Bit(p) == 0 {
+			got, res := Decode(cw.SetBit(p, 0))
+			if res != OK || got != 0 {
+				t.Fatalf("benign stuck bit at %d misdecoded", p)
+			}
+			return
+		}
+	}
+	t.Fatal("no zero bit found")
+}
+
+func TestCodewordBitOps(t *testing.T) {
+	var c Codeword
+	c = c.SetBit(3, 1).SetBit(70, 1)
+	if c.Bit(3) != 1 || c.Bit(70) != 1 || c.Bit(4) != 0 {
+		t.Fatalf("bit ops broken: %+v", c)
+	}
+	c = c.FlipBit(3)
+	if c.Bit(3) != 0 {
+		t.Fatal("flip broken")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Uncorrectable.String() != "uncorrectable" {
+		t.Fatal("Result.String broken")
+	}
+}
+
+func TestWordFailureProbShape(t *testing.T) {
+	if WordFailureProb(0) != 0 {
+		t.Fatal("zero rate must give zero failure")
+	}
+	if WordFailureProb(1) != 1 {
+		t.Fatal("rate 1 must give failure 1")
+	}
+	// For tiny rates the failure probability is ~ (72 choose 2) r².
+	r := 1e-6
+	want := 72.0 * 71 / 2 * r * r
+	got := WordFailureProb(r)
+	if math.Abs(got-want) > want*0.01 {
+		t.Fatalf("failure prob = %v, want ≈%v", got, want)
+	}
+	// Monotone in rate.
+	prev := 0.0
+	for _, r := range []float64{1e-8, 1e-6, 1e-4, 1e-2, 0.1, 0.5} {
+		p := WordFailureProb(r)
+		if p < prev {
+			t.Fatalf("failure prob not monotone at %v", r)
+		}
+		prev = p
+	}
+}
+
+func TestCorrectableProbPeak(t *testing.T) {
+	if CorrectableProb(0) != 0 || CorrectableProb(1) != 0 {
+		t.Fatal("edge correctable probs wrong")
+	}
+	r := 1e-6
+	want := 72 * r
+	if got := CorrectableProb(r); math.Abs(got-want) > want*0.01 {
+		t.Fatalf("correctable prob = %v, want ≈%v", got, want)
+	}
+}
+
+// Monte Carlo: inject independent faults at a known rate and verify the
+// analytic failure probability.
+func TestWordFailureProbMonteCarlo(t *testing.T) {
+	const rate = 0.01
+	const trials = 30000
+	src := prf.NewSource(7)
+	fails := 0
+	for i := 0; i < trials; i++ {
+		faults := 0
+		for b := 0; b < CodeBits; b++ {
+			if src.Float64() < rate {
+				faults++
+			}
+		}
+		if faults >= 2 {
+			fails++
+		}
+	}
+	got := float64(fails) / trials
+	want := WordFailureProb(rate)
+	sd := math.Sqrt(want * (1 - want) / trials)
+	if math.Abs(got-want) > 5*sd {
+		t.Fatalf("MC failure rate %v vs analytic %v (±%v)", got, want, 5*sd)
+	}
+}
+
+// End-to-end: random data protected by ECC under random stuck-at faults;
+// with at most one fault per codeword the data always survives.
+func TestECCSurvivesSingleStuckBits(t *testing.T) {
+	src := prf.NewSource(13)
+	for trial := 0; trial < 2000; trial++ {
+		data := src.Uint64()
+		cw := Encode(data)
+		pos := src.Intn(CodeBits)
+		val := uint(src.Intn(2))
+		got, res := Decode(cw.SetBit(pos, val))
+		if res == Uncorrectable {
+			t.Fatalf("single stuck bit uncorrectable at %d", pos)
+		}
+		if got != data {
+			t.Fatalf("data corrupted by single stuck bit at %d", pos)
+		}
+	}
+}
+
+func TestOverheadValue(t *testing.T) {
+	if Overhead != 0.125 {
+		t.Fatalf("overhead = %v", Overhead)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	cw := Encode(0xdeadbeef)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, res := Decode(cw); res != OK {
+			b.Fatal("unexpected result")
+		}
+	}
+}
+
+func BenchmarkDecodeCorrect(b *testing.B) {
+	cw := Encode(0xdeadbeef).FlipBit(17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, res := Decode(cw); res != Corrected {
+			b.Fatal("unexpected result")
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// These tests pin the model to the paper's reported numbers. If one of
+// them fails after a constant change, the model no longer reproduces
+// DATE'21; fix the calibration, not the test.
+
+func TestAnchorGuardbandClean(t *testing.T) {
+	m := defaultModel(t)
+	for _, v := range VoltageGrid(VNom, VMin) {
+		if f := m.GlobalStuckFraction(v); f != 0 {
+			t.Fatalf("stuck fraction %v at %vV inside guardband", f, v)
+		}
+	}
+}
+
+func TestAnchorFirstFlipVoltages(t *testing.T) {
+	m := defaultModel(t)
+	// §III-B: first 1→0 flips at 0.97 V, first 0→1 flips at 0.96 V.
+	total := func(v float64, kind FlipKind) float64 {
+		sum := 0.0
+		for s := 0; s < NumStacks; s++ {
+			for pc := 0; pc < PCsPerStack; pc++ {
+				sum += m.ExpectedPCFaults(s, pc, v, kind)
+			}
+		}
+		return sum
+	}
+	if got := total(0.98, AnyFlip); got != 0 {
+		t.Fatalf("faults at 0.98V: %v", got)
+	}
+	f10 := total(VFirst10, OneToZero)
+	if f10 < 10 || f10 > 1e4 {
+		t.Fatalf("1→0 faults at 0.97V = %v, want a small nonzero count", f10)
+	}
+	if f01 := total(VFirst10, ZeroToOne); f01 != 0 {
+		t.Fatalf("0→1 faults already present at 0.97V: %v", f01)
+	}
+	if f01 := total(VFirst01, ZeroToOne); f01 <= 0 {
+		t.Fatalf("no 0→1 faults at 0.96V")
+	}
+}
+
+func TestAnchorExponentialGrowth(t *testing.T) {
+	m := defaultModel(t)
+	// Fault counts must grow roughly exponentially through the unsafe
+	// region: each 10 mV step multiplies the rate by ~10^0.55 ≈ 3.5 in
+	// the weak-dominated region.
+	prev := 0.0
+	for _, v := range VoltageGrid(0.97, 0.87) {
+		cur := m.StackFaultFraction(0, v, AnyFlip)
+		if prev > 0 {
+			growth := cur / prev
+			if growth < 2 || growth > 6 {
+				t.Fatalf("growth factor %v at %vV, want ~3.5 (exponential)", growth, v)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestAnchorAllBitsFaultyAt084(t *testing.T) {
+	m := defaultModel(t)
+	for _, v := range VoltageGrid(VAllFaulty, VCritical) {
+		for s := 0; s < NumStacks; s++ {
+			if f := m.StackFaultFraction(s, v, AnyFlip); f < 0.995 {
+				t.Fatalf("stack%d only %v faulty at %vV, want ~all", s, f, v)
+			}
+		}
+	}
+}
+
+func TestAnchorStuckFractionAt085(t *testing.T) {
+	m := defaultModel(t)
+	// Fig. 3: active capacitance at 0.85 V is 14% below nominal, i.e.
+	// ~14% of bits are stuck. This also fixes the 2.3x power saving.
+	f := m.GlobalStuckFraction(0.85)
+	if f < 0.12 || f > 0.16 {
+		t.Fatalf("stuck fraction at 0.85V = %v, want ~0.14", f)
+	}
+	savings := (VNom / 0.85) * (VNom / 0.85) / (1 - f)
+	if savings < 2.2 || savings > 2.4 {
+		t.Fatalf("implied power saving at 0.85V = %vx, want ~2.3x", savings)
+	}
+}
+
+func TestAnchorPolarityAsymmetry(t *testing.T) {
+	m := defaultModel(t)
+	// §III-B: the average 0→1 rate is ~21% higher than the 1→0 rate.
+	// Evaluate in the weak-dominated region where the tail is negligible.
+	var r01, r10 float64
+	for _, v := range VoltageGrid(0.94, 0.88) {
+		for s := 0; s < NumStacks; s++ {
+			r01 += m.StackFaultFraction(s, v, ZeroToOne)
+			r10 += m.StackFaultFraction(s, v, OneToZero)
+		}
+	}
+	ratio := r01 / r10
+	if ratio < 1.15 || ratio > 1.27 {
+		t.Fatalf("0→1/1→0 ratio = %v, want ~1.21", ratio)
+	}
+}
+
+func TestAnchorStackVariation(t *testing.T) {
+	m := defaultModel(t)
+	// §III-B: HBM0's fault rate is ~13% lower than HBM1's on average in
+	// the unsafe region.
+	var sum float64
+	var n int
+	for _, v := range VoltageGrid(0.97, VAllFaulty) {
+		f0 := m.StackFaultFraction(0, v, AnyFlip)
+		f1 := m.StackFaultFraction(1, v, AnyFlip)
+		if f0 == 0 {
+			continue
+		}
+		sum += f1 / f0
+		n++
+	}
+	avg := sum / float64(n)
+	if avg < 1.08 || avg > 1.18 {
+		t.Fatalf("HBM1/HBM0 average fault ratio = %v, want ~1.13", avg)
+	}
+	// Both stacks share Vmin and Vcritical (paper: same guardband edges).
+	if m.StackFaultFraction(0, VMin, AnyFlip) != 0 || m.StackFaultFraction(1, VMin, AnyFlip) != 0 {
+		t.Fatal("stacks disagree on Vmin")
+	}
+}
+
+func TestAnchorSensitivePCs(t *testing.T) {
+	m := defaultModel(t)
+	// §III-B: PC4, PC5 (HBM0) and PC18, PC19, PC20 (HBM1) are the
+	// fault-prone channels: at moderate undervolt they must show
+	// strictly higher rates than every other PC.
+	v := 0.90
+	sensitive := map[int]bool{}
+	for _, g := range SensitivePCs {
+		sensitive[g] = true
+	}
+	minSens, maxOther := math.Inf(1), 0.0
+	for g := 0; g < NumPCs; g++ {
+		r := m.CellRate(g/PCsPerStack, g%PCsPerStack, v, AnyFlip)
+		if sensitive[g] {
+			if r < minSens {
+				minSens = r
+			}
+		} else if r > maxOther {
+			maxOther = r
+		}
+	}
+	if minSens <= maxOther {
+		t.Fatalf("sensitive PCs not separated: min sensitive %v <= max other %v", minSens, maxOther)
+	}
+	if minSens < 10*maxOther {
+		t.Fatalf("sensitive PCs only %vx worse than others; expect an order of magnitude", minSens/maxOther)
+	}
+}
+
+func TestAnchorFig6UsableCounts(t *testing.T) {
+	m := defaultModel(t)
+	// §III-C: "up to 1.6X power savings ... using only 7 fault-free PCs
+	// operating at 0.95V".
+	if got := m.UsablePCs(0.95, 0); got != 7 {
+		t.Fatalf("fault-free PCs at 0.95V = %d, want 7", got)
+	}
+	// §III-C: "an application that can tolerate a 0.0001%% fault rate and
+	// requires only half of the total memory capacity can push the
+	// voltage down to 0.90V" — 16 of 32 PCs.
+	if got := m.UsablePCs(0.90, 1e-6); got != 16 {
+		t.Fatalf("PCs at ≤0.0001%% fault rate at 0.90V = %d, want 16", got)
+	}
+	// Everything is usable in the guardband.
+	if got := m.UsablePCs(VMin, 0); got != NumPCs {
+		t.Fatalf("usable at Vmin = %d, want %d", got, NumPCs)
+	}
+	// Usable counts are monotone in tolerance.
+	for _, v := range []float64{0.95, 0.92, 0.90, 0.88} {
+		prev := -1
+		for _, tol := range []float64{0, 1e-9, 1e-6, 1e-4, 1e-2} {
+			n := m.UsablePCs(v, tol)
+			if n < prev {
+				t.Fatalf("usable count not monotone in tolerance at %vV", v)
+			}
+			prev = n
+		}
+	}
+}
+
+func TestAnchorUsableListMatchesCount(t *testing.T) {
+	m := defaultModel(t)
+	for _, v := range []float64{0.95, 0.90} {
+		for _, tol := range []float64{0, 1e-6} {
+			list := m.UsablePCList(v, tol)
+			if len(list) != m.UsablePCs(v, tol) {
+				t.Fatalf("list/count mismatch at %vV tol %v", v, tol)
+			}
+			for _, sp := range list {
+				if !m.PCUsable(sp[0], sp[1], v, tol) {
+					t.Fatalf("listed PC %v not usable", sp)
+				}
+			}
+		}
+	}
+}
+
+func TestAnchorClusteredFaults(t *testing.T) {
+	m := defaultModel(t)
+	// §III-B: most faults cluster in small regions. In the weak-dominated
+	// band the share inside clusters must be ~100% while clusters cover
+	// only ~8% of the address space.
+	for _, v := range []float64{0.95, 0.92, 0.89} {
+		for _, g := range SensitivePCs {
+			share := m.ClusteredFaultShare(g/PCsPerStack, g%PCsPerStack, v)
+			if share < 0.99 {
+				t.Fatalf("clustered share %v at %vV for PC%d", share, v, g)
+			}
+		}
+	}
+}
+
+func TestWeakSurvivalShape(t *testing.T) {
+	if WeakSurvivalAt(0.98) != 0 || WeakSurvivalAt(weakVcMax) != 0 {
+		t.Fatal("weak survival must vanish above the truncation point")
+	}
+	if got := WeakSurvivalAt(weakAnchorV); math.Abs(got-weakAnchorRate) > 1e-15 {
+		t.Fatalf("weak survival at anchor = %v, want %v", got, weakAnchorRate)
+	}
+	// One 10 mV step changes the rate by 10^0.55.
+	ratio := WeakSurvivalAt(0.95) / WeakSurvivalAt(0.96)
+	if math.Abs(ratio-math.Pow(10, weakSlopeDecades)) > 1e-9 {
+		t.Fatalf("slope ratio = %v", ratio)
+	}
+}
+
+func TestBulkSurvivalShape(t *testing.T) {
+	m := defaultModel(t)
+	if m.BulkSurvivalAt(0.90) != 0 {
+		t.Fatal("bulk survival must be 0 above cutoff")
+	}
+	if s := m.BulkSurvivalAt(bulkMu); math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("bulk survival at mu = %v, want 0.5", s)
+	}
+	if s := m.BulkSurvivalAt(0.84); s < 0.999 {
+		t.Fatalf("bulk survival at 0.84 = %v, want ~1", s)
+	}
+}

@@ -1,0 +1,58 @@
+package hbm
+
+import "hbmvolt/internal/pattern"
+
+// pageWords is the allocation granule of the sparse store: 4096 words =
+// 128 KB.
+const pageWords = 4096
+
+type page [pageWords]pattern.Word
+
+// pagedMemory is a sparse word store with a uniform fill value. Pages
+// materialize only when a word deviates from the fill, so writing a
+// uniform test pattern over a 256 MB pseudo channel is O(1) — the trick
+// that makes Algorithm 1 runnable at realistic memSize.
+type pagedMemory struct {
+	words uint64
+	fill  pattern.Word
+	pages map[uint64]*page
+}
+
+func newPagedMemory(words uint64) *pagedMemory {
+	return &pagedMemory{words: words, pages: make(map[uint64]*page)}
+}
+
+// Fill resets the whole region to the given word.
+func (m *pagedMemory) Fill(w pattern.Word) {
+	m.fill = w
+	m.pages = make(map[uint64]*page)
+}
+
+// Write stores w at addr.
+func (m *pagedMemory) Write(addr uint64, w pattern.Word) {
+	pi := addr / pageWords
+	p, ok := m.pages[pi]
+	if !ok {
+		if w == m.fill {
+			return // matches the background; nothing to materialize
+		}
+		p = &page{}
+		for i := range p {
+			p[i] = m.fill
+		}
+		m.pages[pi] = p
+	}
+	p[addr%pageWords] = w
+}
+
+// Read returns the word at addr.
+func (m *pagedMemory) Read(addr uint64) pattern.Word {
+	if p, ok := m.pages[addr/pageWords]; ok {
+		return p[addr%pageWords]
+	}
+	return m.fill
+}
+
+// AllocatedPages reports how many pages have materialized (observability
+// for tests and memory budgeting).
+func (m *pagedMemory) AllocatedPages() int { return len(m.pages) }

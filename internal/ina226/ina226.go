@@ -1,0 +1,284 @@
+// Package ina226 models the Texas Instruments INA226 current/power
+// monitor that the VCU128 board places on the HBM supply rail and that
+// the paper collects all power measurements from (§II-B).
+//
+// The model is register-accurate to the datasheet (SBOS547A): bus voltage
+// LSB of 1.25 mV, shunt voltage LSB of 2.5 µV, the calibration-register
+// current/power pipeline (Current = Shunt×Cal/2048, Power = Current×Bus/
+// 20000, power LSB = 25× current LSB), and hardware sample averaging per
+// the AVG configuration bits. Measurement noise is deterministic and
+// shrinks with averaging exactly as the real part's effective resolution
+// does.
+package ina226
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hbmvolt/internal/prf"
+)
+
+// Register addresses (datasheet table 3).
+const (
+	RegConfig      = 0x00
+	RegShuntVolt   = 0x01
+	RegBusVolt     = 0x02
+	RegPower       = 0x03
+	RegCurrent     = 0x04
+	RegCalibration = 0x05
+	RegMaskEnable  = 0x06
+	RegAlertLimit  = 0x07
+	RegMfrID       = 0xfe
+	RegDieID       = 0xff
+)
+
+// Fixed LSB weights (datasheet §7.5).
+const (
+	BusVoltLSB   = 1.25e-3 // volts
+	ShuntVoltLSB = 2.5e-6  // volts
+)
+
+// ConfigReset is the reset bit of the configuration register.
+const ConfigReset = 1 << 15
+
+// configDefault is the power-on configuration value (datasheet: 0x4127).
+const configDefault = 0x4127
+
+// avgCounts maps the AVG field (config bits 11:9) to sample counts.
+var avgCounts = [8]int{1, 4, 16, 64, 128, 256, 512, 1024}
+
+// ctMicros maps the VBUSCT/VSHCT fields (config bits 8:6 / 5:3) to
+// conversion times in microseconds.
+var ctMicros = [8]float64{140, 204, 332, 588, 1100, 2116, 4156, 8244}
+
+// ErrBadRegister is returned for reads/writes of unknown registers.
+var ErrBadRegister = errors.New("ina226: unknown register")
+
+// Rail is the electrical source the monitor samples: bus voltage in
+// volts and load current in amps.
+type Rail func() (volts, amps float64)
+
+// Config parameterizes the monitor.
+type Config struct {
+	// ShuntOhms is the sense resistor (2 mΩ on the VCU128 HBM rail).
+	ShuntOhms float64
+	// Rail supplies the sampled electrical state.
+	Rail Rail
+	// Seed drives the deterministic per-sample noise.
+	Seed uint64
+	// NoiseSigma is the relative 1-sample measurement noise (e.g. 0.005);
+	// averaging reduces it by sqrt(N). Zero disables noise.
+	NoiseSigma float64
+}
+
+// INA226 is the monitor device. Its registers are recomputed from a
+// fresh rail sample burst on every trigger, mimicking continuous
+// conversion mode.
+type INA226 struct {
+	cfg     Config
+	config  uint16
+	cal     uint16
+	sample  uint64 // monotone sample counter feeding the noise stream
+	shunt   int16
+	bus     uint16
+	current int16
+	power   uint16
+}
+
+// New builds the monitor.
+func New(cfg Config) (*INA226, error) {
+	if cfg.ShuntOhms <= 0 {
+		return nil, fmt.Errorf("ina226: ShuntOhms %v must be positive", cfg.ShuntOhms)
+	}
+	if cfg.Rail == nil {
+		return nil, errors.New("ina226: Rail must be set")
+	}
+	return &INA226{cfg: cfg, config: configDefault}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(cfg Config) *INA226 {
+	m, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// CurrentLSB returns the amps-per-count weight implied by the programmed
+// calibration register, or 0 if uncalibrated.
+func (m *INA226) CurrentLSB() float64 {
+	if m.cal == 0 {
+		return 0
+	}
+	return 0.00512 / (float64(m.cal) * m.cfg.ShuntOhms)
+}
+
+// CalibrationFor returns the calibration word for a desired maximum
+// expected current, using the datasheet recipe currentLSB = Imax/2^15.
+func CalibrationFor(maxAmps, shuntOhms float64) (uint16, error) {
+	if maxAmps <= 0 || shuntOhms <= 0 {
+		return 0, fmt.Errorf("ina226: invalid calibration inputs (%v A, %v Ω)", maxAmps, shuntOhms)
+	}
+	lsb := maxAmps / 32768
+	cal := 0.00512 / (lsb * shuntOhms)
+	if cal < 1 || cal > math.MaxUint16 {
+		return 0, fmt.Errorf("ina226: calibration %v out of range", cal)
+	}
+	return uint16(cal), nil
+}
+
+// convert runs one averaged conversion burst and refreshes the data
+// registers.
+func (m *INA226) convert() {
+	n := avgCounts[(m.config>>9)&7]
+	var sumV, sumI float64
+	for i := 0; i < n; i++ {
+		v, a := m.cfg.Rail()
+		m.sample++
+		if m.cfg.NoiseSigma != 0 {
+			h := prf.Hash2(m.cfg.Seed, m.sample)
+			zv := prf.Float64(prf.Hash2(h, 1)) + prf.Float64(prf.Hash2(h, 2)) +
+				prf.Float64(prf.Hash2(h, 3)) - 1.5
+			zi := prf.Float64(prf.Hash2(h, 4)) + prf.Float64(prf.Hash2(h, 5)) +
+				prf.Float64(prf.Hash2(h, 6)) - 1.5
+			// Sum of three uniforms centered: sd = 0.5; scale to sigma.
+			v *= 1 + m.cfg.NoiseSigma*2*zv
+			a *= 1 + m.cfg.NoiseSigma*2*zi
+		}
+		sumV += v
+		sumI += a
+	}
+	busV := sumV / float64(n)
+	amps := sumI / float64(n)
+
+	// Quantize to the fixed LSBs.
+	bus := math.Round(busV / BusVoltLSB)
+	if bus < 0 {
+		bus = 0
+	}
+	if bus > 0x7fff {
+		bus = 0x7fff
+	}
+	m.bus = uint16(bus)
+
+	shunt := math.Round(amps * m.cfg.ShuntOhms / ShuntVoltLSB)
+	if shunt > math.MaxInt16 {
+		shunt = math.MaxInt16
+	}
+	if shunt < math.MinInt16 {
+		shunt = math.MinInt16
+	}
+	m.shunt = int16(shunt)
+
+	// Datasheet pipeline: current and power derive from the quantized
+	// registers, not the analog values.
+	if m.cal == 0 {
+		m.current = 0
+		m.power = 0
+		return
+	}
+	cur := float64(m.shunt) * float64(m.cal) / 2048
+	if cur > math.MaxInt16 {
+		cur = math.MaxInt16
+	}
+	if cur < math.MinInt16 {
+		cur = math.MinInt16
+	}
+	m.current = int16(math.Round(cur))
+
+	pw := float64(m.current) * float64(m.bus) / 20000
+	if pw < 0 {
+		pw = 0
+	}
+	if pw > math.MaxUint16 {
+		pw = math.MaxUint16
+	}
+	m.power = uint16(math.Round(pw))
+}
+
+// ReadRegister performs a register read; data registers trigger a fresh
+// conversion burst first (continuous mode abstraction).
+func (m *INA226) ReadRegister(reg byte) (uint16, error) {
+	switch reg {
+	case RegConfig:
+		return m.config, nil
+	case RegShuntVolt:
+		m.convert()
+		return uint16(m.shunt), nil
+	case RegBusVolt:
+		m.convert()
+		return m.bus, nil
+	case RegPower:
+		m.convert()
+		return m.power, nil
+	case RegCurrent:
+		m.convert()
+		return uint16(m.current), nil
+	case RegCalibration:
+		return m.cal, nil
+	case RegMfrID:
+		return 0x5449, nil // "TI"
+	case RegDieID:
+		return 0x2260, nil
+	default:
+		return 0, fmt.Errorf("%w: 0x%02x", ErrBadRegister, reg)
+	}
+}
+
+// WriteRegister performs a register write.
+func (m *INA226) WriteRegister(reg byte, value uint16) error {
+	switch reg {
+	case RegConfig:
+		if value&ConfigReset != 0 {
+			m.config = configDefault
+			m.cal = 0
+			return nil
+		}
+		m.config = value
+		return nil
+	case RegCalibration:
+		m.cal = value & 0x7fff
+		return nil
+	default:
+		return fmt.Errorf("%w: 0x%02x not writable", ErrBadRegister, reg)
+	}
+}
+
+// ConversionMicros returns the total conversion time of one averaged
+// read burst under the current configuration (bus + shunt conversion
+// times multiplied by the averaging count).
+func (m *INA226) ConversionMicros() float64 {
+	n := float64(avgCounts[(m.config>>9)&7])
+	vbus := ctMicros[(m.config>>6)&7]
+	vsh := ctMicros[(m.config>>3)&7]
+	return n * (vbus + vsh)
+}
+
+// BusVolts reads and decodes the bus voltage register.
+func (m *INA226) BusVolts() (float64, error) {
+	raw, err := m.ReadRegister(RegBusVolt)
+	if err != nil {
+		return 0, err
+	}
+	return float64(raw) * BusVoltLSB, nil
+}
+
+// CurrentAmps reads and decodes the current register.
+func (m *INA226) CurrentAmps() (float64, error) {
+	raw, err := m.ReadRegister(RegCurrent)
+	if err != nil {
+		return 0, err
+	}
+	return float64(int16(raw)) * m.CurrentLSB(), nil
+}
+
+// PowerWatts reads and decodes the power register.
+func (m *INA226) PowerWatts() (float64, error) {
+	raw, err := m.ReadRegister(RegPower)
+	if err != nil {
+		return 0, err
+	}
+	return float64(raw) * 25 * m.CurrentLSB(), nil
+}

@@ -1,0 +1,291 @@
+package ina226
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// fixedRail returns a Rail pinned at the given operating point.
+func fixedRail(volts, amps float64) Rail {
+	return func() (float64, float64) { return volts, amps }
+}
+
+func calibrated(t *testing.T, cfg Config, maxAmps float64) *INA226 {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := CalibrationFor(maxAmps, cfg.ShuntOhms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteRegister(RegCalibration, cal); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{ShuntOhms: 0, Rail: fixedRail(1, 1)}); err == nil {
+		t.Fatal("zero shunt accepted")
+	}
+	if _, err := New(Config{ShuntOhms: 0.002}); err == nil {
+		t.Fatal("nil rail accepted")
+	}
+}
+
+func TestIDs(t *testing.T) {
+	m := MustNew(Config{ShuntOhms: 0.002, Rail: fixedRail(1.2, 10)})
+	mfr, err := m.ReadRegister(RegMfrID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mfr != 0x5449 {
+		t.Fatalf("MFR ID = 0x%04x, want 0x5449 ('TI')", mfr)
+	}
+	die, err := m.ReadRegister(RegDieID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if die != 0x2260 {
+		t.Fatalf("die ID = 0x%04x", die)
+	}
+}
+
+func TestBusVoltageQuantization(t *testing.T) {
+	m := calibrated(t, Config{ShuntOhms: 0.002, Rail: fixedRail(1.2, 10)}, 20)
+	v, err := m.BusVolts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be within one 1.25 mV LSB of the true value.
+	if math.Abs(v-1.2) > BusVoltLSB {
+		t.Fatalf("bus volts = %v", v)
+	}
+	// And exactly on the LSB grid.
+	raw, _ := m.ReadRegister(RegBusVolt)
+	if float64(raw)*BusVoltLSB != v {
+		t.Fatal("BusVolts does not match raw register decode")
+	}
+}
+
+func TestCurrentAndPowerPipeline(t *testing.T) {
+	const volts, amps = 1.2, 12.0
+	m := calibrated(t, Config{ShuntOhms: 0.002, Rail: fixedRail(volts, amps)}, 20)
+	i, err := m.CurrentAmps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i-amps) > amps*0.005 {
+		t.Fatalf("current = %v, want %v", i, amps)
+	}
+	p, err := m.PowerWatts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := volts * amps
+	if math.Abs(p-want) > want*0.01 {
+		t.Fatalf("power = %v, want %v", p, want)
+	}
+	// Power LSB is 25x current LSB by construction.
+	if lsb := m.CurrentLSB(); lsb <= 0 {
+		t.Fatalf("current LSB = %v", lsb)
+	}
+}
+
+func TestUncalibratedReadsZero(t *testing.T) {
+	m := MustNew(Config{ShuntOhms: 0.002, Rail: fixedRail(1.2, 12)})
+	i, err := m.CurrentAmps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 0 {
+		t.Fatalf("uncalibrated current = %v, want 0", i)
+	}
+	p, err := m.PowerWatts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 0 {
+		t.Fatalf("uncalibrated power = %v, want 0", p)
+	}
+}
+
+func TestCalibrationFor(t *testing.T) {
+	cal, err := CalibrationFor(20, 0.002)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// currentLSB = 20/32768 ≈ 610 µA; cal = 0.00512/(lsb*0.002) ≈ 4194.
+	if cal < 4100 || cal > 4300 {
+		t.Fatalf("cal = %d, want ≈4194", cal)
+	}
+	if _, err := CalibrationFor(0, 0.002); err == nil {
+		t.Fatal("zero amps accepted")
+	}
+	if _, err := CalibrationFor(1e6, 1); err == nil {
+		t.Fatal("calibration below 1 accepted")
+	}
+	if _, err := CalibrationFor(0.001, 0.0001); err == nil {
+		t.Fatal("calibration above 16 bits accepted")
+	}
+}
+
+func TestShuntRegisterSigned(t *testing.T) {
+	// Negative current (sinking) produces a negative shunt register.
+	m := calibrated(t, Config{ShuntOhms: 0.002, Rail: fixedRail(1.2, -5)}, 20)
+	raw, err := m.ReadRegister(RegShuntVolt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int16(raw) >= 0 {
+		t.Fatalf("shunt register = %d, want negative", int16(raw))
+	}
+	i, err := m.CurrentAmps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(i-(-5)) > 0.05 {
+		t.Fatalf("current = %v, want -5", i)
+	}
+}
+
+func TestConfigResetRestoresDefaults(t *testing.T) {
+	m := calibrated(t, Config{ShuntOhms: 0.002, Rail: fixedRail(1.2, 10)}, 20)
+	if err := m.WriteRegister(RegConfig, 0x4ea7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteRegister(RegConfig, ConfigReset); err != nil {
+		t.Fatal(err)
+	}
+	cfgReg, err := m.ReadRegister(RegConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfgReg != 0x4127 {
+		t.Fatalf("config after reset = 0x%04x, want 0x4127", cfgReg)
+	}
+	cal, err := m.ReadRegister(RegCalibration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal != 0 {
+		t.Fatal("calibration survived reset")
+	}
+}
+
+func TestUnknownRegisterRejected(t *testing.T) {
+	m := MustNew(Config{ShuntOhms: 0.002, Rail: fixedRail(1, 1)})
+	if _, err := m.ReadRegister(0x42); !errors.Is(err, ErrBadRegister) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.WriteRegister(RegPower, 1); !errors.Is(err, ErrBadRegister) {
+		t.Fatalf("data register writable: %v", err)
+	}
+}
+
+func TestAveragingReducesNoise(t *testing.T) {
+	spread := func(avgField uint16) float64 {
+		m := calibrated(t, Config{
+			ShuntOhms:  0.002,
+			Rail:       fixedRail(1.2, 12),
+			Seed:       77,
+			NoiseSigma: 0.01,
+		}, 20)
+		if err := m.WriteRegister(RegConfig, 0x4007|avgField<<9); err != nil {
+			t.Fatal(err)
+		}
+		var xs []float64
+		for k := 0; k < 60; k++ {
+			p, err := m.PowerWatts()
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs = append(xs, p)
+		}
+		mean := 0.0
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		return math.Sqrt(ss / float64(len(xs)))
+	}
+	noisy := spread(0)  // 1 sample
+	smooth := spread(4) // 128 samples
+	if smooth >= noisy/3 {
+		t.Fatalf("averaging did not reduce noise: 1-sample sd %v vs 128-sample sd %v", noisy, smooth)
+	}
+}
+
+func TestConversionMicros(t *testing.T) {
+	m := MustNew(Config{ShuntOhms: 0.002, Rail: fixedRail(1, 1)})
+	// Default config 0x4127: AVG=0 (1 sample), VBUSCT=VSHCT=1.1 ms.
+	got := m.ConversionMicros()
+	if math.Abs(got-2200) > 1 {
+		t.Fatalf("conversion time = %v µs, want 2200", got)
+	}
+	// 16-sample averaging scales it 16x.
+	if err := m.WriteRegister(RegConfig, 0x4127|2<<9); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ConversionMicros(); math.Abs(got-35200) > 1 {
+		t.Fatalf("averaged conversion time = %v µs", got)
+	}
+}
+
+func TestRailTracksOperatingPoint(t *testing.T) {
+	volts, amps := 1.2, 12.0
+	rail := func() (float64, float64) { return volts, amps }
+	m := calibrated(t, Config{ShuntOhms: 0.002, Rail: rail}, 20)
+	p1, err := m.PowerWatts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	volts, amps = 0.9, 8.0
+	p2, err := m.PowerWatts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p1-14.4) > 0.2 || math.Abs(p2-7.2) > 0.2 {
+		t.Fatalf("power tracking broken: %v, %v", p1, p2)
+	}
+}
+
+func TestClampsAtRegisterLimits(t *testing.T) {
+	// A pathological operating point must clamp, not wrap.
+	m := calibrated(t, Config{ShuntOhms: 0.002, Rail: fixedRail(50, 1e6)}, 20)
+	raw, err := m.ReadRegister(RegBusVolt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 0x7fff {
+		t.Fatalf("bus register = 0x%04x, want clamped 0x7fff", raw)
+	}
+	sh, err := m.ReadRegister(RegShuntVolt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int16(sh) != math.MaxInt16 {
+		t.Fatalf("shunt register = %d, want clamp", int16(sh))
+	}
+}
+
+func BenchmarkPowerWatts(b *testing.B) {
+	m := MustNew(Config{ShuntOhms: 0.002, Rail: fixedRail(1.2, 12)})
+	cal, _ := CalibrationFor(20, 0.002)
+	if err := m.WriteRegister(RegCalibration, cal); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PowerWatts(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

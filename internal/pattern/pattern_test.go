@@ -1,0 +1,210 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSetBitRoundTrip(t *testing.T) {
+	f := func(lanes [4]uint64, idx uint8) bool {
+		w := Word(lanes)
+		i := int(idx) % WordBits
+		orig := w.Bit(i)
+		flipped := w.SetBit(i, 1-orig)
+		if flipped.Bit(i) != 1-orig {
+			return false
+		}
+		back := flipped.SetBit(i, orig)
+		return back == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	if got := AllOnesWord.OnesCount(); got != 256 {
+		t.Fatalf("AllOnesWord.OnesCount() = %d, want 256", got)
+	}
+	if got := AllZerosWord.OnesCount(); got != 0 {
+		t.Fatalf("AllZerosWord.OnesCount() = %d, want 0", got)
+	}
+	w := Word{}.SetBit(0, 1).SetBit(100, 1).SetBit(255, 1)
+	if got := w.OnesCount(); got != 3 {
+		t.Fatalf("OnesCount() = %d, want 3", got)
+	}
+}
+
+func TestCompareClassifiesFlips(t *testing.T) {
+	exp := AllOnesWord
+	obs := exp.SetBit(3, 0).SetBit(77, 0)
+	f := Compare(exp, obs)
+	if f.OneToZero != 2 || f.ZeroToOne != 0 {
+		t.Fatalf("Compare = %+v, want {2,0}", f)
+	}
+
+	exp = AllZerosWord
+	obs = exp.SetBit(200, 1)
+	f = Compare(exp, obs)
+	if f.OneToZero != 0 || f.ZeroToOne != 1 {
+		t.Fatalf("Compare = %+v, want {0,1}", f)
+	}
+}
+
+func TestCompareProperty(t *testing.T) {
+	// Total flips must equal popcount of XOR, and the two classes must
+	// partition it.
+	f := func(a, b [4]uint64) bool {
+		x, y := Word(a), Word(b)
+		fl := Compare(x, y)
+		return fl.Total() == x.Xor(y).OnesCount() &&
+			fl.OneToZero >= 0 && fl.ZeroToOne >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareSymmetrySwapsClasses(t *testing.T) {
+	f := func(a, b [4]uint64) bool {
+		x, y := Word(a), Word(b)
+		ab := Compare(x, y)
+		ba := Compare(y, x)
+		return ab.OneToZero == ba.ZeroToOne && ab.ZeroToOne == ba.OneToZero
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlipsAdd(t *testing.T) {
+	a := Flips{OneToZero: 2, ZeroToOne: 5}
+	a.Add(Flips{OneToZero: 1, ZeroToOne: 1})
+	if a.OneToZero != 3 || a.ZeroToOne != 6 || a.Total() != 9 {
+		t.Fatalf("Add gave %+v", a)
+	}
+}
+
+func TestUniformPatterns(t *testing.T) {
+	for addr := uint64(0); addr < 100; addr += 13 {
+		if AllOnes().Word(addr) != AllOnesWord {
+			t.Fatal("AllOnes not uniform")
+		}
+		if AllZeros().Word(addr) != AllZerosWord {
+			t.Fatal("AllZeros not uniform")
+		}
+	}
+}
+
+func TestCheckerboardAlternates(t *testing.T) {
+	p := Checkerboard()
+	if p.Word(0) == p.Word(1) {
+		t.Fatal("checkerboard does not alternate")
+	}
+	if p.Word(0) != p.Word(2) {
+		t.Fatal("checkerboard period != 2")
+	}
+	if p.Word(0).Xor(p.Word(1)) != AllOnesWord {
+		t.Fatal("checkerboard phases are not complementary")
+	}
+}
+
+func TestWalkingOnesSingleBit(t *testing.T) {
+	p := WalkingOnes()
+	for addr := uint64(0); addr < 2*WordBits; addr++ {
+		w := p.Word(addr)
+		if w.OnesCount() != 1 {
+			t.Fatalf("walking ones at %d has %d bits", addr, w.OnesCount())
+		}
+		if w.Bit(int(addr%WordBits)) != 1 {
+			t.Fatalf("walking ones at %d: wrong bit position", addr)
+		}
+	}
+}
+
+func TestWalkingZerosSingleZero(t *testing.T) {
+	p := WalkingZeros()
+	for addr := uint64(0); addr < WordBits; addr++ {
+		w := p.Word(addr)
+		if w.OnesCount() != WordBits-1 {
+			t.Fatalf("walking zeros at %d has %d ones", addr, w.OnesCount())
+		}
+	}
+}
+
+func TestAddressInDataDistinct(t *testing.T) {
+	p := AddressInData()
+	seen := map[Word]uint64{}
+	for addr := uint64(0); addr < 4096; addr++ {
+		w := p.Word(addr)
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("address pattern collides: %d and %d", prev, addr)
+		}
+		seen[w] = addr
+	}
+}
+
+func TestRandomReproducibleAndSeeded(t *testing.T) {
+	a, b, c := Random(1), Random(1), Random(2)
+	for addr := uint64(0); addr < 64; addr++ {
+		if a.Word(addr) != b.Word(addr) {
+			t.Fatal("same-seed random patterns differ")
+		}
+		if a.Word(addr) == c.Word(addr) {
+			t.Fatal("different-seed random patterns collide")
+		}
+	}
+}
+
+func TestRandomBalanced(t *testing.T) {
+	p := Random(7)
+	ones := 0
+	const words = 4096
+	for addr := uint64(0); addr < words; addr++ {
+		ones += p.Word(addr).OnesCount()
+	}
+	total := words * WordBits
+	frac := float64(ones) / float64(total)
+	if frac < 0.49 || frac > 0.51 {
+		t.Fatalf("random pattern density %v, want ~0.5", frac)
+	}
+}
+
+func TestByName(t *testing.T) {
+	names := []string{"all1", "all0", "checker", "walk1", "walk0", "addr", "rand42"}
+	for _, n := range names {
+		p, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if p.Name() != n {
+			t.Fatalf("ByName(%q).Name() = %q", n, p.Name())
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("ByName(bogus) succeeded")
+	}
+}
+
+func TestWordString(t *testing.T) {
+	w := Word{1, 2, 3, 4}
+	want := "0000000000000004_0000000000000003_0000000000000002_0000000000000001"
+	if w.String() != want {
+		t.Fatalf("String() = %q, want %q", w.String(), want)
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	exp := AllOnesWord
+	obs := exp.SetBit(5, 0).SetBit(130, 0)
+	for i := 0; i < b.N; i++ {
+		_ = Compare(exp, obs)
+	}
+}
+
+func BenchmarkRandomWord(b *testing.B) {
+	p := Random(3)
+	for i := 0; i < b.N; i++ {
+		_ = p.Word(uint64(i))
+	}
+}

@@ -1,0 +1,66 @@
+package pmbus
+
+// PMBus command codes used by the regulator model (PMBus spec part II).
+const (
+	CmdOperation        = 0x01
+	CmdOnOffConfig      = 0x02
+	CmdClearFaults      = 0x03
+	CmdVoutMode         = 0x20
+	CmdVoutCommand      = 0x21
+	CmdVoutMax          = 0x24
+	CmdVoutMarginHigh   = 0x25
+	CmdVoutMarginLow    = 0x26
+	CmdVoutOVFaultLimit = 0x40
+	CmdVoutOVWarnLimit  = 0x42
+	CmdVoutUVWarnLimit  = 0x43
+	CmdVoutUVFaultLimit = 0x44
+	CmdIoutOCFaultLimit = 0x46
+	CmdStatusByte       = 0x78
+	CmdStatusWord       = 0x79
+	CmdStatusVout       = 0x7a
+	CmdStatusIout       = 0x7b
+	CmdReadVin          = 0x88
+	CmdReadVout         = 0x8b
+	CmdReadIout         = 0x8c
+	CmdReadTemperature1 = 0x8d
+	CmdReadPout         = 0x96
+	CmdReadPin          = 0x97
+	CmdPMBusRevision    = 0x98
+	CmdMfrID            = 0x99
+	CmdICDeviceID       = 0xad
+)
+
+// OPERATION command values.
+const (
+	OperationOff         = 0x00
+	OperationOn          = 0x80
+	OperationMarginLow   = 0x98
+	OperationMarginHigh  = 0xa8
+	OperationSoftOffMask = 0x40
+)
+
+// STATUS_BYTE / STATUS_WORD bits (low byte).
+const (
+	StatusNoneOfTheAbove = 1 << 0
+	StatusCML            = 1 << 1
+	StatusTemperature    = 1 << 2
+	StatusVinUV          = 1 << 3
+	StatusIoutOC         = 1 << 4
+	StatusVoutOV         = 1 << 5
+	StatusOff            = 1 << 6
+	StatusBusy           = 1 << 7
+)
+
+// STATUS_WORD high-byte bits.
+const (
+	StatusWordVout = 1 << 15
+	StatusWordIout = 1 << 14
+)
+
+// STATUS_VOUT bits.
+const (
+	StatusVoutOVFault = 1 << 7
+	StatusVoutOVWarn  = 1 << 6
+	StatusVoutUVWarn  = 1 << 5
+	StatusVoutUVFault = 1 << 4
+)

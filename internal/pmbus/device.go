@@ -1,0 +1,151 @@
+package pmbus
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnsupportedCommand is returned by devices for command codes they do
+// not implement.
+var ErrUnsupportedCommand = errors.New("pmbus: unsupported command")
+
+// ErrPEC is returned when a packet's error code does not match its
+// contents.
+var ErrPEC = errors.New("pmbus: PEC mismatch")
+
+// Device is a PMBus slave: word- and byte-granular register access keyed
+// by command code.
+type Device interface {
+	// Address returns the 7-bit bus address.
+	Address() byte
+	WriteByteData(cmd byte, value byte) error
+	ReadByteData(cmd byte) (byte, error)
+	WriteWord(cmd byte, value uint16) error
+	ReadWord(cmd byte) (uint16, error)
+}
+
+// Bus routes SMBus transactions to attached devices and (optionally)
+// verifies packet error codes end to end, simulating the wire protocol
+// the host controller uses on the real board.
+type Bus struct {
+	devices map[byte]Device
+	// UsePEC enables packet error checking on every transaction.
+	UsePEC bool
+}
+
+// NewBus returns an empty bus with PEC enabled (as the board firmware
+// configures it).
+func NewBus() *Bus {
+	return &Bus{devices: make(map[byte]Device), UsePEC: true}
+}
+
+// Attach registers a device; attaching two devices at one address is an
+// error.
+func (b *Bus) Attach(d Device) error {
+	addr := d.Address()
+	if addr>>7 != 0 {
+		return fmt.Errorf("pmbus: address 0x%02x is not 7-bit", addr)
+	}
+	if _, dup := b.devices[addr]; dup {
+		return fmt.Errorf("pmbus: address 0x%02x already attached", addr)
+	}
+	b.devices[addr] = d
+	return nil
+}
+
+func (b *Bus) device(addr byte) (Device, error) {
+	d, ok := b.devices[addr]
+	if !ok {
+		return nil, fmt.Errorf("pmbus: no device at address 0x%02x (NACK)", addr)
+	}
+	return d, nil
+}
+
+// WriteWord performs an SMBus Write Word transaction. With PEC enabled
+// the full packet [addr+W, cmd, lo, hi, pec] is assembled and validated
+// as the device would.
+func (b *Bus) WriteWord(addr, cmd byte, value uint16) error {
+	d, err := b.device(addr)
+	if err != nil {
+		return err
+	}
+	if b.UsePEC {
+		pkt := []byte{addr << 1, cmd, byte(value), byte(value >> 8)}
+		if err := verifyPEC(append(pkt, PEC(pkt))); err != nil {
+			return err
+		}
+	}
+	return d.WriteWord(cmd, value)
+}
+
+// ReadWord performs an SMBus Read Word transaction, validating the
+// response PEC when enabled.
+func (b *Bus) ReadWord(addr, cmd byte) (uint16, error) {
+	d, err := b.device(addr)
+	if err != nil {
+		return 0, err
+	}
+	v, err := d.ReadWord(cmd)
+	if err != nil {
+		return 0, err
+	}
+	if b.UsePEC {
+		pkt := []byte{addr << 1, cmd, addr<<1 | 1, byte(v), byte(v >> 8)}
+		if err := verifyPEC(append(pkt, PEC(pkt))); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}
+
+// WriteByte performs an SMBus Write Byte transaction.
+func (b *Bus) WriteByteData(addr, cmd, value byte) error {
+	d, err := b.device(addr)
+	if err != nil {
+		return err
+	}
+	if b.UsePEC {
+		pkt := []byte{addr << 1, cmd, value}
+		if err := verifyPEC(append(pkt, PEC(pkt))); err != nil {
+			return err
+		}
+	}
+	return d.WriteByteData(cmd, value)
+}
+
+// ReadByte performs an SMBus Read Byte transaction.
+func (b *Bus) ReadByteData(addr, cmd byte) (byte, error) {
+	d, err := b.device(addr)
+	if err != nil {
+		return 0, err
+	}
+	v, err := d.ReadByteData(cmd)
+	if err != nil {
+		return 0, err
+	}
+	if b.UsePEC {
+		pkt := []byte{addr << 1, cmd, addr<<1 | 1, v}
+		if err := verifyPEC(append(pkt, PEC(pkt))); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
+}
+
+// SendByte performs an SMBus Send Byte transaction (command only).
+func (b *Bus) SendByte(addr, cmd byte) error {
+	d, err := b.device(addr)
+	if err != nil {
+		return err
+	}
+	return d.WriteByteData(cmd, 0)
+}
+
+// verifyPEC checks that the last byte of pkt is the CRC of the rest.
+func verifyPEC(pkt []byte) error {
+	n := len(pkt) - 1
+	if PEC(pkt[:n]) != pkt[n] {
+		return ErrPEC
+	}
+	return nil
+}

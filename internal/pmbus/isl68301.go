@@ -1,0 +1,321 @@
+package pmbus
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// ISL68301 models the Intersil/Renesas digital multiphase controller that
+// supplies the VCC_HBM rail on the VCU128. The model covers the command
+// surface the paper's host tooling exercises: output on/off, VOUT
+// programming in LINEAR16, UV/OV limits with latched status, and
+// VIN/VOUT/IOUT/POUT/temperature telemetry.
+//
+// The regulator is connected to its load through two callbacks: OnVout is
+// invoked whenever the output voltage changes (the HBM stacks follow the
+// rail), and LoadAmps reports the load's current draw for telemetry.
+type ISL68301 struct {
+	mu sync.Mutex
+
+	addr byte
+	// exp is the fixed VOUT_MODE linear exponent (-12 -> 244 µV LSB).
+	exp int8
+
+	// Programmed registers.
+	voutCmd     float64
+	voutMax     float64
+	marginLow   float64
+	marginHigh  float64
+	ovFault     float64
+	uvFault     float64
+	onOffConfig byte
+	operation   byte
+
+	// Latched status.
+	statusVout byte
+	cml        bool
+
+	// Electrical environment.
+	vin     float64
+	tempC   float64
+	slewVms float64 // output slew rate in V/ms
+
+	// Load coupling.
+	onVout   func(v float64)
+	loadAmps func(v float64) float64
+
+	// present output voltage
+	vout float64
+}
+
+// ISLConfig parameterizes the regulator model.
+type ISLConfig struct {
+	// Address is the 7-bit PMBus address (VCU128 wiring uses 0x60 for
+	// the HBM rail controller).
+	Address byte
+	// VoutInit is the power-on output voltage (nominal 1.20 V).
+	VoutInit float64
+	// VoutMax clamps VOUT_COMMAND (default 1.30 V).
+	VoutMax float64
+	// OVFault / UVFault are the latched fault thresholds. UVFault
+	// defaults to 0.40 V: low enough that the paper's sweep below the
+	// HBM's V_critical is the memory dying, not the regulator tripping.
+	OVFault, UVFault float64
+	// Vin is the input rail (12 V on the board).
+	Vin float64
+	// TempC is the controller die temperature for READ_TEMPERATURE_1.
+	TempC float64
+	// SlewVms is the output transition slew rate in volts/ms.
+	SlewVms float64
+	// OnVout receives every output-voltage change.
+	OnVout func(v float64)
+	// LoadAmps reports load current at the given output voltage.
+	LoadAmps func(v float64) float64
+}
+
+// NewISL68301 builds the regulator with defaults filled in.
+func NewISL68301(cfg ISLConfig) *ISL68301 {
+	if cfg.Address == 0 {
+		cfg.Address = 0x60
+	}
+	if cfg.VoutInit == 0 {
+		cfg.VoutInit = 1.20
+	}
+	if cfg.VoutMax == 0 {
+		cfg.VoutMax = 1.30
+	}
+	if cfg.OVFault == 0 {
+		cfg.OVFault = 1.32
+	}
+	if cfg.UVFault == 0 {
+		cfg.UVFault = 0.40
+	}
+	if cfg.Vin == 0 {
+		cfg.Vin = 12.0
+	}
+	if cfg.TempC == 0 {
+		cfg.TempC = 45
+	}
+	if cfg.SlewVms == 0 {
+		cfg.SlewVms = 1.0 // 1 mV/µs
+	}
+	r := &ISL68301{
+		addr:        cfg.Address,
+		exp:         -12,
+		voutCmd:     cfg.VoutInit,
+		marginLow:   cfg.VoutInit * 0.95,
+		marginHigh:  cfg.VoutInit * 1.05,
+		voutMax:     cfg.VoutMax,
+		ovFault:     cfg.OVFault,
+		uvFault:     cfg.UVFault,
+		onOffConfig: 0x17, // respond to OPERATION command
+		operation:   OperationOn,
+		vin:         cfg.Vin,
+		tempC:       cfg.TempC,
+		slewVms:     cfg.SlewVms,
+		onVout:      cfg.OnVout,
+		loadAmps:    cfg.LoadAmps,
+	}
+	r.applyLocked()
+	return r
+}
+
+// Address implements Device.
+func (r *ISL68301) Address() byte { return r.addr }
+
+// Vout returns the present output voltage (0 when disabled).
+func (r *ISL68301) Vout() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.vout
+}
+
+// TransitionMicros returns the time a transition between the two
+// voltages takes at the configured slew rate, in microseconds. The model
+// applies transitions atomically; this exposes the latency the real part
+// would need, which the experiment harness accounts into its timing.
+func (r *ISL68301) TransitionMicros(from, to float64) float64 {
+	return math.Abs(to-from) / r.slewVms * 1000
+}
+
+// applyLocked recomputes the output voltage from operation state and
+// VOUT_COMMAND, latching faults. Caller holds r.mu.
+func (r *ISL68301) applyLocked() {
+	var target float64
+	if r.operation&OperationOn != 0 {
+		switch r.operation {
+		case OperationMarginLow:
+			target = r.marginLow
+		case OperationMarginHigh:
+			target = r.marginHigh
+		default:
+			target = r.voutCmd
+		}
+	}
+	if target > r.voutMax {
+		target = r.voutMax
+	}
+	if target > 0 && target > r.ovFault {
+		r.statusVout |= StatusVoutOVFault
+		target = 0 // latch off on OV fault
+	}
+	if target > 0 && target < r.uvFault {
+		r.statusVout |= StatusVoutUVFault
+		target = 0 // latch off on UV fault
+	}
+	if target != r.vout {
+		r.vout = target
+		if r.onVout != nil {
+			r.onVout(target)
+		}
+	}
+}
+
+// WriteByte implements Device.
+func (r *ISL68301) WriteByteData(cmd byte, value byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cmd {
+	case CmdOperation:
+		r.operation = value
+		r.applyLocked()
+	case CmdOnOffConfig:
+		r.onOffConfig = value
+	case CmdClearFaults:
+		r.statusVout = 0
+		r.cml = false
+		r.applyLocked()
+	default:
+		r.cml = true
+		return fmt.Errorf("%w: write byte 0x%02x", ErrUnsupportedCommand, cmd)
+	}
+	return nil
+}
+
+// ReadByte implements Device.
+func (r *ISL68301) ReadByteData(cmd byte) (byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cmd {
+	case CmdOperation:
+		return r.operation, nil
+	case CmdOnOffConfig:
+		return r.onOffConfig, nil
+	case CmdVoutMode:
+		return byte(r.exp) & 0x1f, nil
+	case CmdStatusByte:
+		return r.statusByteLocked(), nil
+	case CmdPMBusRevision:
+		return 0x22, nil // PMBus 1.2 part I & II
+	default:
+		r.cml = true
+		return 0, fmt.Errorf("%w: read byte 0x%02x", ErrUnsupportedCommand, cmd)
+	}
+}
+
+func (r *ISL68301) statusByteLocked() byte {
+	var s byte
+	if r.vout == 0 {
+		s |= StatusOff
+	}
+	if r.statusVout&StatusVoutOVFault != 0 {
+		s |= StatusVoutOV
+	}
+	if r.cml {
+		s |= StatusCML
+	}
+	return s
+}
+
+// WriteWord implements Device.
+func (r *ISL68301) WriteWord(cmd byte, value uint16) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cmd {
+	case CmdVoutCommand:
+		r.voutCmd = FromLinear16(value, r.exp)
+		r.applyLocked()
+	case CmdVoutMax:
+		r.voutMax = FromLinear16(value, r.exp)
+		r.applyLocked()
+	case CmdVoutMarginLow:
+		r.marginLow = FromLinear16(value, r.exp)
+		r.applyLocked()
+	case CmdVoutMarginHigh:
+		r.marginHigh = FromLinear16(value, r.exp)
+		r.applyLocked()
+	case CmdVoutOVFaultLimit:
+		r.ovFault = FromLinear16(value, r.exp)
+		r.applyLocked()
+	case CmdVoutUVFaultLimit:
+		r.uvFault = FromLinear16(value, r.exp)
+		r.applyLocked()
+	default:
+		r.cml = true
+		return fmt.Errorf("%w: write word 0x%02x", ErrUnsupportedCommand, cmd)
+	}
+	return nil
+}
+
+// ReadWord implements Device.
+func (r *ISL68301) ReadWord(cmd byte) (uint16, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch cmd {
+	case CmdVoutCommand:
+		return Linear16(r.voutCmd, r.exp)
+	case CmdVoutMax:
+		return Linear16(r.voutMax, r.exp)
+	case CmdVoutMarginLow:
+		return Linear16(r.marginLow, r.exp)
+	case CmdVoutMarginHigh:
+		return Linear16(r.marginHigh, r.exp)
+	case CmdVoutOVFaultLimit:
+		return Linear16(r.ovFault, r.exp)
+	case CmdVoutUVFaultLimit:
+		return Linear16(r.uvFault, r.exp)
+	case CmdReadVout:
+		return Linear16(r.vout, r.exp)
+	case CmdReadVin:
+		return Linear11(r.vin)
+	case CmdReadIout:
+		return Linear11(r.loadAmpsLocked())
+	case CmdReadPout:
+		return Linear11(r.vout * r.loadAmpsLocked())
+	case CmdReadPin:
+		// Assume ~90% conversion efficiency for input telemetry.
+		return Linear11(r.vout * r.loadAmpsLocked() / 0.90)
+	case CmdReadTemperature1:
+		return Linear11(r.tempC)
+	case CmdStatusWord:
+		w := uint16(r.statusByteLocked())
+		if r.statusVout != 0 {
+			w |= StatusWordVout
+		}
+		return w, nil
+	case CmdStatusVout:
+		return uint16(r.statusVout), nil
+	case CmdICDeviceID:
+		return 0x6831, nil
+	default:
+		r.cml = true
+		return 0, fmt.Errorf("%w: read word 0x%02x", ErrUnsupportedCommand, cmd)
+	}
+}
+
+func (r *ISL68301) loadAmpsLocked() float64 {
+	if r.loadAmps == nil || r.vout == 0 {
+		return 0
+	}
+	return r.loadAmps(r.vout)
+}
+
+// Faulted reports whether a VOUT fault is latched.
+func (r *ISL68301) Faulted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.statusVout != 0
+}
+
+var _ Device = (*ISL68301)(nil)

@@ -1,0 +1,100 @@
+// Package pmbus implements the subset of the Power Management Bus
+// protocol the paper's experiments rely on: the LINEAR11 and LINEAR16
+// data formats, SMBus packet-error-checking (PEC), and a device model of
+// the Intersil ISL68301 regulator that supplies the VCC_HBM rail on the
+// VCU128 board.
+//
+// The paper's host-side tooling tunes the HBM supply exclusively through
+// PMBus VOUT commands and reads voltage/current/power telemetry back;
+// this package provides the same command surface.
+package pmbus
+
+import (
+	"fmt"
+	"math"
+)
+
+// Linear11 encodes a real value into the PMBus LINEAR11 format: a 5-bit
+// two's-complement exponent N in bits 15:11 and an 11-bit two's-
+// complement mantissa Y in bits 10:0, representing Y·2^N. The encoder
+// picks the exponent that maximizes mantissa resolution.
+func Linear11(value float64) (uint16, error) {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return 0, fmt.Errorf("pmbus: cannot encode %v as LINEAR11", value)
+	}
+	// Find the smallest exponent in [-16, 15] whose mantissa fits 11
+	// signed bits, to keep precision.
+	for exp := -16; exp <= 15; exp++ {
+		m := value / math.Pow(2, float64(exp))
+		mr := math.Round(m)
+		if mr >= -1024 && mr <= 1023 {
+			y := int16(mr)
+			return (uint16(exp)&0x1f)<<11 | uint16(y)&0x7ff, nil
+		}
+	}
+	return 0, fmt.Errorf("pmbus: value %v out of LINEAR11 range", value)
+}
+
+// FromLinear11 decodes a LINEAR11 word.
+func FromLinear11(w uint16) float64 {
+	exp := int16(w>>11) & 0x1f
+	if exp > 15 {
+		exp -= 32 // sign-extend 5 bits
+	}
+	man := int16(w & 0x7ff)
+	if man > 1023 {
+		man -= 2048 // sign-extend 11 bits
+	}
+	return float64(man) * math.Pow(2, float64(exp))
+}
+
+// Linear16 encodes a non-negative value with the fixed exponent conveyed
+// by VOUT_MODE (a 5-bit two's-complement number; -12 gives 244 µV
+// resolution). The mantissa is an unsigned 16-bit integer.
+func Linear16(value float64, voutModeExp int8) (uint16, error) {
+	if value < 0 || math.IsNaN(value) || math.IsInf(value, 0) {
+		return 0, fmt.Errorf("pmbus: cannot encode %v as LINEAR16", value)
+	}
+	m := math.Round(value / math.Pow(2, float64(voutModeExp)))
+	if m > math.MaxUint16 {
+		return 0, fmt.Errorf("pmbus: value %v overflows LINEAR16 with exponent %d", value, voutModeExp)
+	}
+	return uint16(m), nil
+}
+
+// FromLinear16 decodes a LINEAR16 mantissa under the given VOUT_MODE
+// exponent.
+func FromLinear16(w uint16, voutModeExp int8) float64 {
+	return float64(w) * math.Pow(2, float64(voutModeExp))
+}
+
+// VoutModeExp extracts the 5-bit signed exponent from a VOUT_MODE byte in
+// linear mode (upper 3 bits 000).
+func VoutModeExp(mode byte) (int8, error) {
+	if mode>>5 != 0 {
+		return 0, fmt.Errorf("pmbus: VOUT_MODE 0x%02x is not linear format", mode)
+	}
+	e := int8(mode & 0x1f)
+	if e > 15 {
+		e -= 32
+	}
+	return e, nil
+}
+
+// PEC computes the SMBus packet error code: CRC-8 with polynomial
+// x^8 + x^2 + x + 1 (0x07), zero initial value, over the raw packet
+// bytes (address phases included).
+func PEC(data []byte) byte {
+	var crc byte
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

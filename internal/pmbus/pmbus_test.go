@@ -1,0 +1,438 @@
+package pmbus
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinear11RoundTrip(t *testing.T) {
+	values := []float64{0, 1, -1, 0.5, 12, 14.5, 100, -42.25, 0.001, 33000}
+	for _, v := range values {
+		w, err := Linear11(v)
+		if err != nil {
+			t.Fatalf("Linear11(%v): %v", v, err)
+		}
+		got := FromLinear11(w)
+		// Relative bound for normal magnitudes; 2^-16-grade absolute bound
+		// for values below the mantissa's full-resolution floor.
+		tol := math.Max(math.Abs(v)*0.002, 1e-5)
+		if math.Abs(got-v) > tol {
+			t.Fatalf("Linear11 round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestLinear11RoundTripProperty(t *testing.T) {
+	f := func(raw int32) bool {
+		v := float64(raw) / 1000 // span ±2.1e6 with mV resolution
+		w, err := Linear11(v)
+		if err != nil {
+			return math.Abs(v) > 3.3e7 // only astronomic values may fail
+		}
+		got := FromLinear11(w)
+		tol := math.Max(math.Abs(v)*0.002, 1e-3)
+		return math.Abs(got-v) <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinear11RejectsNonFinite(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if _, err := Linear11(v); err == nil {
+			t.Fatalf("Linear11(%v) accepted", v)
+		}
+	}
+}
+
+func TestLinear16RoundTrip(t *testing.T) {
+	const exp = -12
+	for _, v := range []float64{0, 0.81, 0.98, 1.2, 1.3} {
+		w, err := Linear16(v, exp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := FromLinear16(w, exp)
+		if math.Abs(got-v) > math.Pow(2, exp)/2+1e-12 {
+			t.Fatalf("Linear16 round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestLinear16Resolution(t *testing.T) {
+	// With exponent -12 the LSB is 244 µV — fine enough for the paper's
+	// 10 mV sweep steps to be exactly representable.
+	a, _ := Linear16(0.97, -12)
+	b, _ := Linear16(0.96, -12)
+	if a == b {
+		t.Fatal("10 mV steps indistinguishable in LINEAR16")
+	}
+}
+
+func TestLinear16Rejects(t *testing.T) {
+	if _, err := Linear16(-0.1, -12); err == nil {
+		t.Fatal("negative accepted")
+	}
+	if _, err := Linear16(1e9, -12); err == nil {
+		t.Fatal("overflow accepted")
+	}
+}
+
+func TestVoutModeExp(t *testing.T) {
+	e, err := VoutModeExp(0x14) // 10100 -> -12
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != -12 {
+		t.Fatalf("exp = %d, want -12", e)
+	}
+	if _, err := VoutModeExp(0x40); err == nil {
+		t.Fatal("non-linear mode accepted")
+	}
+}
+
+func TestPECKnownVector(t *testing.T) {
+	// CRC-8/SMBus of "123456789" is 0xF4.
+	if got := PEC([]byte("123456789")); got != 0xf4 {
+		t.Fatalf("PEC = 0x%02x, want 0xf4", got)
+	}
+	if PEC(nil) != 0 {
+		t.Fatal("PEC of empty input must be 0")
+	}
+}
+
+func TestPECDetectsSingleBitFlips(t *testing.T) {
+	pkt := []byte{0xc0, 0x21, 0x00, 0x4c}
+	crc := PEC(pkt)
+	for i := range pkt {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), pkt...)
+			mut[i] ^= 1 << bit
+			if PEC(mut) == crc {
+				t.Fatalf("single-bit flip at %d.%d undetected", i, bit)
+			}
+		}
+	}
+}
+
+func newTestRail(t *testing.T) (*ISL68301, *float64) {
+	t.Helper()
+	rail := new(float64)
+	reg := NewISL68301(ISLConfig{
+		OnVout:   func(v float64) { *rail = v },
+		LoadAmps: func(v float64) float64 { return 10 * v }, // resistive-ish load
+	})
+	return reg, rail
+}
+
+func TestISLDefaultsAndInitialVout(t *testing.T) {
+	reg, rail := newTestRail(t)
+	if reg.Vout() != 1.20 {
+		t.Fatalf("initial vout = %v", reg.Vout())
+	}
+	if *rail != 1.20 {
+		t.Fatal("OnVout not fired at init")
+	}
+	if reg.Address() != 0x60 {
+		t.Fatalf("address = 0x%02x", reg.Address())
+	}
+}
+
+func TestISLVoutCommand(t *testing.T) {
+	reg, rail := newTestRail(t)
+	w, err := Linear16(0.95, -12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteWord(CmdVoutCommand, w); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(*rail-0.95) > 0.001 {
+		t.Fatalf("rail = %v, want 0.95", *rail)
+	}
+	rd, err := reg.ReadWord(CmdReadVout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FromLinear16(rd, -12); math.Abs(got-0.95) > 0.001 {
+		t.Fatalf("READ_VOUT = %v", got)
+	}
+}
+
+func TestISLVoutMaxClamp(t *testing.T) {
+	reg, rail := newTestRail(t)
+	w, _ := Linear16(1.29, -12)
+	if err := reg.WriteWord(CmdVoutCommand, w); err != nil {
+		t.Fatal(err)
+	}
+	if *rail > 1.301 {
+		t.Fatalf("rail %v exceeds VOUT_MAX", *rail)
+	}
+}
+
+func TestISLOperationOnOff(t *testing.T) {
+	reg, rail := newTestRail(t)
+	if err := reg.WriteByteData(CmdOperation, OperationOff); err != nil {
+		t.Fatal(err)
+	}
+	if *rail != 0 {
+		t.Fatalf("rail = %v after OPERATION off", *rail)
+	}
+	sb, err := reg.ReadByteData(CmdStatusByte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb&StatusOff == 0 {
+		t.Fatal("STATUS_BYTE OFF bit not set")
+	}
+	if err := reg.WriteByteData(CmdOperation, OperationOn); err != nil {
+		t.Fatal(err)
+	}
+	if *rail != 1.20 {
+		t.Fatalf("rail = %v after OPERATION on", *rail)
+	}
+}
+
+func TestISLUVFaultLatches(t *testing.T) {
+	reg, rail := newTestRail(t)
+	// Program a 0.9 V UV fault floor, then command 0.85 V.
+	uv, _ := Linear16(0.90, -12)
+	if err := reg.WriteWord(CmdVoutUVFaultLimit, uv); err != nil {
+		t.Fatal(err)
+	}
+	cmd, _ := Linear16(0.85, -12)
+	if err := reg.WriteWord(CmdVoutCommand, cmd); err != nil {
+		t.Fatal(err)
+	}
+	if *rail != 0 {
+		t.Fatalf("rail = %v, want latched off", *rail)
+	}
+	if !reg.Faulted() {
+		t.Fatal("fault not latched")
+	}
+	sv, err := reg.ReadWord(CmdStatusVout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byte(sv)&StatusVoutUVFault == 0 {
+		t.Fatal("STATUS_VOUT UV bit missing")
+	}
+	// Raising the command alone is not enough; faults are latched until
+	// CLEAR_FAULTS.
+	cmd2, _ := Linear16(1.0, -12)
+	if err := reg.WriteWord(CmdVoutCommand, cmd2); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Faulted() {
+		t.Fatal("fault cleared without CLEAR_FAULTS")
+	}
+	if err := reg.WriteByteData(CmdClearFaults, 0); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Faulted() {
+		t.Fatal("CLEAR_FAULTS did not clear")
+	}
+	if math.Abs(*rail-1.0) > 0.001 {
+		t.Fatalf("rail = %v after recovery", *rail)
+	}
+}
+
+func TestISLPaperSweepRange(t *testing.T) {
+	// The paper sweeps 1.20 V down to 0.81 V and below without the
+	// regulator tripping: its default UV floor (0.40 V) must admit the
+	// whole range.
+	reg, rail := newTestRail(t)
+	for mv := 1200; mv >= 780; mv -= 10 {
+		w, err := Linear16(float64(mv)/1000, -12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteWord(CmdVoutCommand, w); err != nil {
+			t.Fatal(err)
+		}
+		if reg.Faulted() {
+			t.Fatalf("regulator faulted at %d mV", mv)
+		}
+		if math.Abs(*rail-float64(mv)/1000) > 0.001 {
+			t.Fatalf("rail %v at %d mV", *rail, mv)
+		}
+	}
+}
+
+func TestISLTelemetry(t *testing.T) {
+	reg, _ := newTestRail(t)
+	iout, err := reg.ReadWord(CmdReadIout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FromLinear11(iout); math.Abs(got-12.0) > 0.1 {
+		t.Fatalf("IOUT = %v, want 12 (10A/V at 1.2V)", got)
+	}
+	pout, err := reg.ReadWord(CmdReadPout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FromLinear11(pout); math.Abs(got-14.4) > 0.2 {
+		t.Fatalf("POUT = %v, want 14.4", got)
+	}
+	vin, err := reg.ReadWord(CmdReadVin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FromLinear11(vin); math.Abs(got-12) > 0.1 {
+		t.Fatalf("VIN = %v", got)
+	}
+	temp, err := reg.ReadWord(CmdReadTemperature1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FromLinear11(temp); math.Abs(got-45) > 0.5 {
+		t.Fatalf("TEMP = %v", got)
+	}
+}
+
+func TestISLVoutModeReportsExp(t *testing.T) {
+	reg, _ := newTestRail(t)
+	mode, err := reg.ReadByteData(CmdVoutMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := VoutModeExp(mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != -12 {
+		t.Fatalf("VOUT_MODE exp = %d", e)
+	}
+}
+
+func TestISLUnsupportedCommandSetsCML(t *testing.T) {
+	reg, _ := newTestRail(t)
+	if _, err := reg.ReadWord(0x77); !errors.Is(err, ErrUnsupportedCommand) {
+		t.Fatalf("unexpected err %v", err)
+	}
+	sb, err := reg.ReadByteData(CmdStatusByte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb&StatusCML == 0 {
+		t.Fatal("CML bit not set after bad command")
+	}
+}
+
+func TestISLTransitionMicros(t *testing.T) {
+	reg, _ := newTestRail(t)
+	// 1 mV/µs slew: 1.20 -> 0.98 V is 220 µs.
+	if got := reg.TransitionMicros(1.20, 0.98); math.Abs(got-220) > 1 {
+		t.Fatalf("transition = %v µs, want 220", got)
+	}
+}
+
+func TestBusRoutingAndPEC(t *testing.T) {
+	bus := NewBus()
+	reg, rail := newTestRail(t)
+	if err := bus.Attach(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Attach(reg); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+	w, _ := Linear16(1.00, -12)
+	if err := bus.WriteWord(reg.Address(), CmdVoutCommand, w); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(*rail-1.0) > 0.001 {
+		t.Fatalf("rail = %v via bus", *rail)
+	}
+	got, err := bus.ReadWord(reg.Address(), CmdReadVout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(FromLinear16(got, -12)-1.0) > 0.001 {
+		t.Fatal("bus read mismatch")
+	}
+	if _, err := bus.ReadWord(0x33, CmdReadVout); err == nil {
+		t.Fatal("ghost address answered")
+	}
+}
+
+func TestBusByteOps(t *testing.T) {
+	bus := NewBus()
+	reg, rail := newTestRail(t)
+	if err := bus.Attach(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.WriteByteData(reg.Address(), CmdOperation, OperationOff); err != nil {
+		t.Fatal(err)
+	}
+	if *rail != 0 {
+		t.Fatal("byte write not routed")
+	}
+	b, err := bus.ReadByteData(reg.Address(), CmdOperation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != OperationOff {
+		t.Fatalf("read back 0x%02x", b)
+	}
+	if err := bus.SendByte(reg.Address(), CmdClearFaults); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLinear11Encode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Linear11(14.53); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPEC(b *testing.B) {
+	pkt := []byte{0xc0, 0x21, 0x00, 0x4c}
+	for i := 0; i < b.N; i++ {
+		_ = PEC(pkt)
+	}
+}
+
+func TestISLMarginOperation(t *testing.T) {
+	reg, rail := newTestRail(t)
+	// Default margins are ±5% around the init voltage.
+	if err := reg.WriteByteData(CmdOperation, OperationMarginLow); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(*rail-1.20*0.95) > 0.001 {
+		t.Fatalf("margin low rail = %v, want 1.14", *rail)
+	}
+	if err := reg.WriteByteData(CmdOperation, OperationMarginHigh); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(*rail-1.20*1.05) > 0.001 {
+		t.Fatalf("margin high rail = %v, want 1.26", *rail)
+	}
+	// Programmable margins.
+	w, _ := Linear16(1.00, -12)
+	if err := reg.WriteWord(CmdVoutMarginHigh, w); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(*rail-1.00) > 0.001 {
+		t.Fatalf("programmed margin rail = %v", *rail)
+	}
+	rd, err := reg.ReadWord(CmdVoutMarginHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(FromLinear16(rd, -12)-1.00) > 0.001 {
+		t.Fatal("margin readback mismatch")
+	}
+	// Returning to normal operation restores VOUT_COMMAND.
+	if err := reg.WriteByteData(CmdOperation, OperationOn); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(*rail-1.20) > 0.001 {
+		t.Fatalf("rail after margin exit = %v", *rail)
+	}
+}

@@ -1,0 +1,170 @@
+// Package power models the HBM subsystem's power consumption under
+// voltage underscaling, following the paper's §III-A.
+//
+// Active power obeys P = α·C_L·f·V² (Eq. 1, from Micron's DDR4 power
+// technical report). Idle power — clocking, refresh, standby — is
+// measured in the paper to be roughly one third of full-load power, and
+// scales with V² as well. Below the guardband, stuck cells stop
+// charging/discharging, reducing the effective switched capacitance
+// (α·C_L); the paper measures this as a 14% drop at 0.85 V (Fig. 3),
+// which is why total savings reach 2.3× instead of the (1.2/0.85)² ≈ 2×
+// that voltage scaling alone would give.
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params configures the power model. The defaults reproduce the paper's
+// platform-level numbers.
+type Params struct {
+	// VNominal is the nominal supply voltage (1.20 V).
+	VNominal float64
+	// PeakBandwidthGBs is the achieved full-utilization bandwidth the
+	// power numbers are normalized to (310 GB/s in the paper).
+	PeakBandwidthGBs float64
+	// FullLoadWatts is the total HBM power at (VNominal, 100%
+	// utilization). The paper quotes ~7 pJ/bit for HBM: 310 GB/s ×
+	// 8 bit/B × 7 pJ/bit ≈ 17.4 W across both stacks.
+	FullLoadWatts float64
+	// IdleFraction is idle power as a fraction of full-load power at the
+	// same voltage (≈ 1/3 per §III-A2).
+	IdleFraction float64
+}
+
+// DefaultParams matches the paper's platform.
+func DefaultParams() Params {
+	return Params{
+		VNominal:         1.20,
+		PeakBandwidthGBs: 310,
+		FullLoadWatts:    17.36,
+		IdleFraction:     1.0 / 3.0,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	switch {
+	case p.VNominal <= 0:
+		return fmt.Errorf("power: VNominal %v must be positive", p.VNominal)
+	case p.PeakBandwidthGBs <= 0:
+		return fmt.Errorf("power: PeakBandwidthGBs %v must be positive", p.PeakBandwidthGBs)
+	case p.FullLoadWatts <= 0:
+		return fmt.Errorf("power: FullLoadWatts %v must be positive", p.FullLoadWatts)
+	case p.IdleFraction < 0 || p.IdleFraction >= 1:
+		return fmt.Errorf("power: IdleFraction %v out of [0,1)", p.IdleFraction)
+	}
+	return nil
+}
+
+// CapFactor returns the fraction of switched capacitance still active at
+// voltage v (1.0 in the guardband, dropping once cells stick). The board
+// wires this to faults.Model.GlobalStuckFraction.
+type CapFactor func(v float64) float64
+
+// UnityCapFactor models an ideal device with no stuck cells.
+func UnityCapFactor(float64) float64 { return 1 }
+
+// Model computes rail power for the two HBM stacks.
+type Model struct {
+	p   Params
+	cap CapFactor
+}
+
+// New builds a power model; a nil capFactor means UnityCapFactor.
+func New(p Params, capFactor CapFactor) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if capFactor == nil {
+		capFactor = UnityCapFactor
+	}
+	return &Model{p: p, cap: capFactor}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(p Params, capFactor CapFactor) *Model {
+	m, err := New(p, capFactor)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the model parameters.
+func (m *Model) Params() Params { return m.p }
+
+// Watts returns total HBM power at supply voltage v and bandwidth
+// utilization util ∈ [0,1]. Both the idle and active components scale
+// with V² and with the active-capacitance factor, which is why the
+// measured savings factor is independent of utilization (§III-A1).
+func (m *Model) Watts(v, util float64) float64 {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	idle := m.p.FullLoadWatts * m.p.IdleFraction
+	base := idle + util*(m.p.FullLoadWatts-idle)
+	scale := (v / m.p.VNominal) * (v / m.p.VNominal)
+	return base * scale * m.cap(v)
+}
+
+// Savings returns the power-saving factor of running at voltage v versus
+// nominal, at the given utilization: P(VNominal)/P(v).
+func (m *Model) Savings(v, util float64) float64 {
+	pv := m.Watts(v, util)
+	if pv == 0 {
+		return math.Inf(1)
+	}
+	return m.Watts(m.p.VNominal, util) / pv
+}
+
+// AlphaCLF returns the effective switched capacitance per second
+// (α·C_L·f, units: farads/second) implied by a power measurement at
+// (v, util): P / V². This is the Fig. 3 quantity.
+func AlphaCLF(watts, v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return watts / (v * v)
+}
+
+// NormalizedAlphaCLF divides the α·C_L·f at (v, util) by its value at
+// nominal voltage and the same utilization, reproducing Fig. 3's per-
+// bandwidth normalization.
+func (m *Model) NormalizedAlphaCLF(v, util float64) float64 {
+	nom := AlphaCLF(m.Watts(m.p.VNominal, util), m.p.VNominal)
+	if nom == 0 {
+		return 0
+	}
+	return AlphaCLF(m.Watts(v, util), v) / nom
+}
+
+// NormalizedPower divides power at (v, util) by power at nominal voltage
+// and full utilization, reproducing Fig. 2's normalization.
+func (m *Model) NormalizedPower(v, util float64) float64 {
+	return m.Watts(v, util) / m.Watts(m.p.VNominal, 1)
+}
+
+// Amps returns the rail current draw at (v, util).
+func (m *Model) Amps(v, util float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return m.Watts(v, util) / v
+}
+
+// EnergyPerBit returns the access energy in picojoules per bit at
+// (v, util); util must be positive. At nominal voltage and full load the
+// default parameters give ≈7 pJ/bit, the figure the paper quotes for
+// HBM (vs ~25 pJ/bit for DDRx).
+func (m *Model) EnergyPerBit(v, util float64) (float64, error) {
+	if util <= 0 {
+		return 0, fmt.Errorf("power: energy per bit undefined at zero utilization")
+	}
+	bitsPerSec := m.p.PeakBandwidthGBs * 1e9 * 8 * util
+	return m.Watts(v, util) / bitsPerSec * 1e12, nil
+}

@@ -1,0 +1,36 @@
+package power
+
+import (
+	"math"
+
+	"hbmvolt/internal/prf"
+)
+
+// Noise models the measurement uncertainty of the board's sensing chain
+// (INA226 quantization, regulator ripple, thermal drift). It is
+// deterministic: the perturbation depends only on the seed and the
+// measurement coordinates, so figure regeneration is reproducible while
+// still showing the ±x% scatter visible in the paper's Fig. 3.
+type Noise struct {
+	// Seed selects the noise realization; 0 is valid.
+	Seed uint64
+	// Sigma is the relative standard deviation (e.g. 0.01 for 1%).
+	// Zero disables the noise entirely.
+	Sigma float64
+}
+
+// Apply perturbs a wattage measured at (v, util) in batch sample n.
+func (n Noise) Apply(watts, v, util float64, sample int) float64 {
+	if n.Sigma == 0 {
+		return watts
+	}
+	h := prf.Hash5(n.Seed, math.Float64bits(v), math.Float64bits(util), uint64(sample), 0x9019)
+	// Sum of four uniforms, centered: cheap approximately-normal draw
+	// with variance 4/12, rescaled to unit variance.
+	var sum float64
+	for i := uint64(0); i < 4; i++ {
+		sum += prf.Float64(prf.Hash2(h, i))
+	}
+	z := (sum - 2) / math.Sqrt(4.0/12.0)
+	return watts * (1 + n.Sigma*z)
+}

@@ -1,0 +1,246 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func defModel(t testing.TB, cf CapFactor) *Model {
+	t.Helper()
+	m, err := New(DefaultParams(), cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Params){
+		func(p *Params) { p.VNominal = 0 },
+		func(p *Params) { p.PeakBandwidthGBs = -1 },
+		func(p *Params) { p.FullLoadWatts = 0 },
+		func(p *Params) { p.IdleFraction = 1 },
+		func(p *Params) { p.IdleFraction = -0.1 },
+	}
+	for i, mut := range cases {
+		p := DefaultParams()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+// Eq. 1: with no stuck bits, power scales exactly with V².
+func TestQuadraticVoltageLaw(t *testing.T) {
+	m := defModel(t, nil)
+	f := func(rv, ru uint16) bool {
+		v := 0.81 + float64(rv%390)/1000
+		util := float64(ru%101) / 100
+		got := m.Watts(v, util)
+		want := m.Watts(1.20, util) * (v / 1.20) * (v / 1.20)
+		return math.Abs(got-want) < 1e-9*want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// §III-A1: the savings factor is independent of bandwidth utilization.
+func TestSavingsIndependentOfUtilization(t *testing.T) {
+	capf := func(v float64) float64 {
+		if v < 0.98 {
+			return 0.9
+		}
+		return 1
+	}
+	m := defModel(t, capf)
+	for _, v := range []float64{1.1, 0.98, 0.9, 0.85} {
+		ref := m.Savings(v, 1)
+		for _, util := range []float64{0, 0.25, 0.5, 0.75} {
+			got := m.Savings(v, util)
+			if math.Abs(got-ref) > 1e-9*ref {
+				t.Fatalf("savings at %vV util %v = %v, differs from %v", v, util, got, ref)
+			}
+		}
+	}
+}
+
+// Guardband edge: eliminating the guardband gives (1.2/0.98)² ≈ 1.5×.
+func TestGuardbandSavings(t *testing.T) {
+	m := defModel(t, nil)
+	s := m.Savings(0.98, 0.5)
+	if math.Abs(s-1.4994) > 0.001 {
+		t.Fatalf("savings at 0.98V = %v, want ≈1.5", s)
+	}
+}
+
+// With a 14% capacitance drop at 0.85 V the total saving is ≈2.3×.
+func TestDeepUndervoltSavingsWithStuckBits(t *testing.T) {
+	capf := func(v float64) float64 {
+		if v <= 0.85 {
+			return 0.86
+		}
+		return 1
+	}
+	m := defModel(t, capf)
+	s := m.Savings(0.85, 1)
+	if s < 2.25 || s > 2.40 {
+		t.Fatalf("savings at 0.85V = %v, want ≈2.3", s)
+	}
+}
+
+func TestIdleFraction(t *testing.T) {
+	m := defModel(t, nil)
+	idle := m.Watts(1.20, 0)
+	full := m.Watts(1.20, 1)
+	frac := idle / full
+	if math.Abs(frac-1.0/3.0) > 1e-9 {
+		t.Fatalf("idle fraction = %v, want 1/3", frac)
+	}
+}
+
+func TestWattsMonotoneInUtilization(t *testing.T) {
+	m := defModel(t, nil)
+	prev := -1.0
+	for u := 0.0; u <= 1.0; u += 0.05 {
+		w := m.Watts(1.0, u)
+		if w <= prev {
+			t.Fatalf("watts not increasing at util %v", u)
+		}
+		prev = w
+	}
+}
+
+func TestWattsClampsUtilization(t *testing.T) {
+	m := defModel(t, nil)
+	if m.Watts(1.0, -5) != m.Watts(1.0, 0) {
+		t.Fatal("negative util not clamped")
+	}
+	if m.Watts(1.0, 7) != m.Watts(1.0, 1) {
+		t.Fatal("util > 1 not clamped")
+	}
+}
+
+func TestNormalizedPowerAnchors(t *testing.T) {
+	m := defModel(t, nil)
+	if np := m.NormalizedPower(1.20, 1); math.Abs(np-1) > 1e-12 {
+		t.Fatalf("normalized power at reference = %v", np)
+	}
+	if np := m.NormalizedPower(1.20, 0); math.Abs(np-1.0/3.0) > 1e-9 {
+		t.Fatalf("normalized idle = %v, want 1/3", np)
+	}
+}
+
+func TestNormalizedAlphaCLFFlatWithoutStuckBits(t *testing.T) {
+	m := defModel(t, nil)
+	for _, v := range []float64{1.2, 1.0, 0.9, 0.85} {
+		for _, u := range []float64{0.25, 1} {
+			if got := m.NormalizedAlphaCLF(v, u); math.Abs(got-1) > 1e-9 {
+				t.Fatalf("alphaCLF at (%v,%v) = %v, want 1", v, u, got)
+			}
+		}
+	}
+}
+
+func TestNormalizedAlphaCLFTracksCapFactor(t *testing.T) {
+	capf := func(v float64) float64 {
+		if v <= 0.85 {
+			return 0.86
+		}
+		return 1
+	}
+	m := defModel(t, capf)
+	got := m.NormalizedAlphaCLF(0.85, 0.5)
+	if math.Abs(got-0.86) > 1e-9 {
+		t.Fatalf("alphaCLF at 0.85V = %v, want 0.86 (Fig. 3: 14%% drop)", got)
+	}
+}
+
+func TestEnergyPerBit(t *testing.T) {
+	m := defModel(t, nil)
+	pj, err := m.EnergyPerBit(1.20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pj < 6.5 || pj > 7.5 {
+		t.Fatalf("energy/bit = %v pJ, want ≈7 (paper §II-A)", pj)
+	}
+	if _, err := m.EnergyPerBit(1.20, 0); err == nil {
+		t.Fatal("zero-util energy accepted")
+	}
+	// Undervolting reduces energy per bit quadratically.
+	lo, err := m.EnergyPerBit(0.98, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := pj / lo; math.Abs(ratio-1.4994) > 0.01 {
+		t.Fatalf("energy ratio = %v, want ≈1.5", ratio)
+	}
+}
+
+func TestAmps(t *testing.T) {
+	m := defModel(t, nil)
+	w := m.Watts(1.20, 1)
+	if a := m.Amps(1.20, 1); math.Abs(a-w/1.20) > 1e-12 {
+		t.Fatalf("amps = %v", a)
+	}
+	if m.Amps(0, 1) != 0 {
+		t.Fatal("zero-volt amps should be 0")
+	}
+}
+
+func TestNoiseDeterministicAndCentered(t *testing.T) {
+	n := Noise{Seed: 3, Sigma: 0.01}
+	a := n.Apply(10, 0.95, 0.5, 7)
+	b := n.Apply(10, 0.95, 0.5, 7)
+	if a != b {
+		t.Fatal("noise not deterministic")
+	}
+	if n.Apply(10, 0.95, 0.5, 8) == a {
+		t.Fatal("noise ignores sample index")
+	}
+	// Mean over many samples stays near the true value; spread matches
+	// sigma.
+	var sum, sumSq float64
+	const k = 5000
+	for i := 0; i < k; i++ {
+		v := n.Apply(10, 0.95, 0.5, i)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / k
+	sd := math.Sqrt(sumSq/k - mean*mean)
+	if math.Abs(mean-10) > 0.02 {
+		t.Fatalf("noisy mean = %v, want ≈10", mean)
+	}
+	if sd < 0.05 || sd > 0.15 {
+		t.Fatalf("noisy sd = %v, want ≈0.1", sd)
+	}
+}
+
+func TestNoiseZeroSigmaIsIdentity(t *testing.T) {
+	n := Noise{Seed: 1}
+	if n.Apply(3.14, 1, 1, 0) != 3.14 {
+		t.Fatal("zero-sigma noise altered the value")
+	}
+}
+
+func TestSavingsInfiniteAtZeroPower(t *testing.T) {
+	m := defModel(t, func(float64) float64 { return 0 })
+	if !math.IsInf(m.Savings(0.9, 1), 1) {
+		t.Fatal("zero-power savings should be +Inf")
+	}
+}
+
+func BenchmarkWatts(b *testing.B) {
+	m := MustNew(DefaultParams(), nil)
+	for i := 0; i < b.N; i++ {
+		_ = m.Watts(0.9, 0.5)
+	}
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named data series of a chart, aligned with the chart's
+// X values.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart renders aligned series as a fixed-width ASCII line chart, good
+// enough to eyeball the shape of a figure in a terminal. Log scaling
+// handles the exponential fault curves.
+type Chart struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+	// Height is the number of chart rows (default 16).
+	Height int
+	// LogY plots log10 of the values (zeros clamp to the floor).
+	LogY bool
+}
+
+// markers cycles per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// WriteTo renders the chart.
+func (c *Chart) WriteTo(w io.Writer) (int64, error) {
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+	var total int64
+	emit := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	if c.Title != "" {
+		if err := emit("%s\n", c.Title); err != nil {
+			return total, err
+		}
+	}
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		err := emit("(no data)\n")
+		return total, err
+	}
+
+	transform := func(v float64) (float64, bool) {
+		if c.LogY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if tv, ok := transform(v); ok {
+				lo = math.Min(lo, tv)
+				hi = math.Max(hi, tv)
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		err := emit("(no plottable data)\n")
+		return total, err
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	cols := len(c.X)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range c.Series {
+		mk := markers[si%len(markers)]
+		for xi, v := range s.Values {
+			if xi >= cols {
+				break
+			}
+			tv, ok := transform(v)
+			if !ok {
+				continue
+			}
+			r := int((tv - lo) / (hi - lo) * float64(height-1))
+			grid[height-1-r][xi] = mk
+		}
+	}
+
+	for r, rowBytes := range grid {
+		yVal := hi - (hi-lo)*float64(r)/float64(height-1)
+		label := fmt.Sprintf("%8.3g", yVal)
+		if c.LogY {
+			label = fmt.Sprintf("%8.2g", math.Pow(10, yVal))
+		}
+		if err := emit("%s |%s|\n", label, string(rowBytes)); err != nil {
+			return total, err
+		}
+	}
+	if err := emit("%s +%s+\n", strings.Repeat(" ", 8), strings.Repeat("-", cols)); err != nil {
+		return total, err
+	}
+	if err := emit("%s  %-8.3g%s%8.3g\n", strings.Repeat(" ", 8),
+		c.X[0], strings.Repeat(" ", max(0, cols-16)), c.X[len(c.X)-1]); err != nil {
+		return total, err
+	}
+	for si, s := range c.Series {
+		if err := emit("  %c %s\n", markers[si%len(markers)], s.Name); err != nil {
+			return total, err
+		}
+	}
+	if c.XLabel != "" {
+		if err := emit("  x: %s\n", c.XLabel); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var sb strings.Builder
+	if _, err := c.WriteTo(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV streams rows to an io.Writer in RFC-4180 form; a thin convenience
+// over encoding/csv with numeric formatting helpers.
+type CSV struct {
+	w   *csv.Writer
+	err error
+}
+
+// NewCSV wraps a writer.
+func NewCSV(w io.Writer) *CSV { return &CSV{w: csv.NewWriter(w)} }
+
+// Row writes one record of stringable values.
+func (c *CSV) Row(cells ...any) {
+	if c.err != nil {
+		return
+	}
+	rec := make([]string, len(cells))
+	for i, cell := range cells {
+		switch v := cell.(type) {
+		case string:
+			rec[i] = v
+		case float64:
+			rec[i] = strconv.FormatFloat(v, 'g', 8, 64)
+		case int:
+			rec[i] = strconv.Itoa(v)
+		case uint64:
+			rec[i] = strconv.FormatUint(v, 10)
+		default:
+			rec[i] = fmt.Sprint(v)
+		}
+	}
+	c.err = c.w.Write(rec)
+}
+
+// Flush completes the stream and reports the first error encountered.
+func (c *CSV) Flush() error {
+	c.w.Flush()
+	if c.err != nil {
+		return c.err
+	}
+	return c.w.Error()
+}

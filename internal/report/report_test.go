@@ -1,0 +1,143 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("V", "Power", "Savings")
+	tb.AddRow("1.20", "17.36", "1.00")
+	tb.AddRow("0.98", "11.58", "1.50")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "V") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator line %q", lines[1])
+	}
+	// All data lines align on the same column offsets.
+	idx0 := strings.Index(lines[2], "17.36")
+	idx1 := strings.Index(lines[3], "11.58")
+	if idx0 != idx1 {
+		t.Fatalf("misaligned columns: %d vs %d", idx0, idx1)
+	}
+}
+
+func TestTablePadsAndTruncates(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow("1")           // short
+	tb.AddRow("1", "2", "3") // long
+	if tb.Len() != 2 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Fatal("overflow cell not truncated")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("x", "y")
+	tb.AddRowf("%.2f", 1.234, 5.678)
+	if !strings.Contains(tb.String(), "1.23") {
+		t.Fatal("formatted cell missing")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCSV(&buf)
+	c.Row("volts", "watts")
+	c.Row(0.98, 11.5)
+	c.Row(1, uint64(42))
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "volts,watts\n0.98,11.5\n1,42\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestCSVQuotesCommas(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewCSV(&buf)
+	c.Row("a,b", "plain")
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"a,b"`) {
+		t.Fatalf("comma cell not quoted: %q", buf.String())
+	}
+}
+
+func TestChartRendersSeries(t *testing.T) {
+	ch := &Chart{
+		Title:  "Fig. 2",
+		XLabel: "V",
+		X:      []float64{1.2, 1.1, 1.0, 0.9},
+		Series: []Series{
+			{Name: "100%", Values: []float64{1.0, 0.84, 0.69, 0.56}},
+			{Name: "idle", Values: []float64{0.33, 0.28, 0.23, 0.19}},
+		},
+		Height: 8,
+	}
+	out := ch.String()
+	if !strings.Contains(out, "Fig. 2") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "100%") || !strings.Contains(out, "idle") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	if !strings.Contains(out, "x: V") {
+		t.Fatal("x label missing")
+	}
+}
+
+func TestChartLogScaleHandlesZeros(t *testing.T) {
+	ch := &Chart{
+		X: []float64{1, 2, 3},
+		Series: []Series{
+			{Name: "rate", Values: []float64{0, 1e-6, 1e-2}},
+		},
+		LogY: true,
+	}
+	out := ch.String()
+	if out == "" {
+		t.Fatal("log chart empty")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("log chart plotted nothing")
+	}
+}
+
+func TestChartEmptyData(t *testing.T) {
+	ch := &Chart{}
+	if !strings.Contains(ch.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+	ch = &Chart{X: []float64{1}, Series: []Series{{Name: "z", Values: []float64{0}}}, LogY: true}
+	if !strings.Contains(ch.String(), "no plottable data") {
+		t.Fatal("all-zero log chart should say so")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	ch := &Chart{
+		X:      []float64{1, 2},
+		Series: []Series{{Name: "flat", Values: []float64{5, 5}}},
+	}
+	if ch.String() == "" {
+		t.Fatal("constant series chart empty")
+	}
+}

@@ -1,0 +1,211 @@
+// Package stats implements the statistical methodology of the paper's
+// §II-C: batched measurements with quantified error and confidence
+// margins, following Leveugle et al., "Statistical Fault Injection:
+// Quantified Error and Confidence" (DATE 2009).
+//
+// The paper runs every test 130 times, which (for a worst-case proportion
+// p = 0.5) corresponds to a ~7% margin of error at a 90% confidence
+// level. SampleSize and MarginOfError encode that relationship so the
+// harness can both justify the default batch size and let users trade
+// runtime for tighter bounds.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Common two-sided confidence levels and their standard-normal critical
+// values z such that P(|Z| <= z) = level.
+var zTable = []struct {
+	level float64
+	z     float64
+}{
+	{0.80, 1.2816},
+	{0.90, 1.6449},
+	{0.95, 1.9600},
+	{0.98, 2.3263},
+	{0.99, 2.5758},
+	{0.999, 3.2905},
+}
+
+// ZCritical returns the two-sided standard-normal critical value for the
+// given confidence level (e.g. 0.90 -> 1.645). Levels between table
+// entries are linearly interpolated; levels outside [0.80, 0.999] are an
+// error.
+func ZCritical(level float64) (float64, error) {
+	if level < zTable[0].level || level > zTable[len(zTable)-1].level {
+		return 0, fmt.Errorf("stats: confidence level %v outside supported range [%v, %v]",
+			level, zTable[0].level, zTable[len(zTable)-1].level)
+	}
+	for i := 0; i < len(zTable)-1; i++ {
+		lo, hi := zTable[i], zTable[i+1]
+		if level >= lo.level && level <= hi.level {
+			if hi.level == lo.level {
+				return lo.z, nil
+			}
+			t := (level - lo.level) / (hi.level - lo.level)
+			return lo.z + t*(hi.z-lo.z), nil
+		}
+	}
+	return zTable[len(zTable)-1].z, nil
+}
+
+// SampleSize returns the number of trials required to estimate a
+// proportion within margin e at the given confidence level, for a finite
+// population of size n (Leveugle et al., Eq. for statistical fault
+// injection). p is the assumed true proportion; use 0.5 for the
+// worst case, which is what the paper does.
+//
+// For n <= 0 the population is treated as infinite.
+func SampleSize(n int64, e, confidence, p float64) (int64, error) {
+	if e <= 0 || e >= 1 {
+		return 0, fmt.Errorf("stats: margin e=%v out of (0,1)", e)
+	}
+	if p <= 0 || p >= 1 {
+		return 0, fmt.Errorf("stats: proportion p=%v out of (0,1)", p)
+	}
+	z, err := ZCritical(confidence)
+	if err != nil {
+		return 0, err
+	}
+	inf := z * z * p * (1 - p) / (e * e)
+	if n <= 0 {
+		return int64(math.Ceil(inf)), nil
+	}
+	fn := float64(n)
+	t := fn / (1 + e*e*(fn-1)/(z*z*p*(1-p)))
+	return int64(math.Ceil(t)), nil
+}
+
+// MarginOfError inverts SampleSize for an infinite population: given a
+// number of trials it returns the achievable margin at the stated
+// confidence, assuming worst-case p = 0.5. The paper's batch of 130 runs
+// yields ~7.2% at 90% confidence.
+func MarginOfError(trials int, confidence float64) (float64, error) {
+	if trials <= 0 {
+		return 0, errors.New("stats: trials must be positive")
+	}
+	z, err := ZCritical(confidence)
+	if err != nil {
+		return 0, err
+	}
+	return z * 0.5 / math.Sqrt(float64(trials)), nil
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than
+// two samples).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// Stddev returns the unbiased sample standard deviation of xs.
+func Stddev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// Median returns the median of xs (0 for an empty slice). xs is not
+// modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Summary captures the batch statistics attached to every measured point
+// in the experiment results.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	// CILow/CIHigh bound the mean at the confidence level used to build
+	// the summary.
+	CILow, CIHigh float64
+	Confidence    float64
+}
+
+// Summarize computes a Summary of xs with a confidence interval on the
+// mean at the given level.
+func Summarize(xs []float64, confidence float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, errors.New("stats: empty sample")
+	}
+	z, err := ZCritical(confidence)
+	if err != nil {
+		return Summary{}, err
+	}
+	s := Summary{
+		N:          len(xs),
+		Mean:       Mean(xs),
+		Stddev:     Stddev(xs),
+		Min:        xs[0],
+		Max:        xs[0],
+		Confidence: confidence,
+	}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	half := z * s.Stddev / math.Sqrt(float64(s.N))
+	s.CILow, s.CIHigh = s.Mean-half, s.Mean+half
+	return s, nil
+}
+
+// PoissonCI returns an approximate two-sided confidence interval for a
+// Poisson rate given an observed count, using the normal approximation
+// with a continuity floor. It is used to check Monte-Carlo fault counts
+// against analytic expectations.
+func PoissonCI(count float64, confidence float64) (lo, hi float64, err error) {
+	z, err := ZCritical(confidence)
+	if err != nil {
+		return 0, 0, err
+	}
+	sd := math.Sqrt(math.Max(count, 1))
+	lo = count - z*sd
+	if lo < 0 {
+		lo = 0
+	}
+	return lo, count + z*sd, nil
+}
+
+// NormalTail returns P(Z > x) for a standard normal Z.
+func NormalTail(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}

@@ -1,0 +1,228 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZCriticalKnownValues(t *testing.T) {
+	cases := []struct {
+		level, want float64
+	}{
+		{0.90, 1.6449},
+		{0.95, 1.9600},
+		{0.99, 2.5758},
+	}
+	for _, c := range cases {
+		z, err := ZCritical(c.level)
+		if err != nil {
+			t.Fatalf("ZCritical(%v): %v", c.level, err)
+		}
+		if math.Abs(z-c.want) > 1e-9 {
+			t.Fatalf("ZCritical(%v) = %v, want %v", c.level, z, c.want)
+		}
+	}
+}
+
+func TestZCriticalInterpolates(t *testing.T) {
+	z, err := ZCritical(0.925)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z <= 1.6449 || z >= 1.96 {
+		t.Fatalf("interpolated z = %v not between neighbors", z)
+	}
+}
+
+func TestZCriticalRejectsOutOfRange(t *testing.T) {
+	for _, lvl := range []float64{0.5, 0.9999, -1} {
+		if _, err := ZCritical(lvl); err == nil {
+			t.Fatalf("ZCritical(%v) accepted", lvl)
+		}
+	}
+}
+
+// The paper's central statistical claim: 130 runs give ~7% error at 90%
+// confidence.
+func TestPaperBatchSize(t *testing.T) {
+	m, err := MarginOfError(130, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m < 0.068 || m > 0.076 {
+		t.Fatalf("MarginOfError(130, 0.90) = %v, want ~0.072 (paper: 7%%)", m)
+	}
+	// And the inverse: a 7.2% margin at 90% needs ~130 trials.
+	n, err := SampleSize(0, 0.0722, 0.90, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 125 || n > 135 {
+		t.Fatalf("SampleSize = %d, want ~130", n)
+	}
+}
+
+func TestSampleSizeFinitePopulationSmaller(t *testing.T) {
+	inf, err := SampleSize(0, 0.05, 0.95, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := SampleSize(500, 0.05, 0.95, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin >= inf {
+		t.Fatalf("finite-population size %d not below infinite %d", fin, inf)
+	}
+	if fin > 500 {
+		t.Fatalf("sample size %d exceeds population", fin)
+	}
+}
+
+func TestSampleSizeRejectsBadInputs(t *testing.T) {
+	if _, err := SampleSize(0, 0, 0.9, 0.5); err == nil {
+		t.Fatal("e=0 accepted")
+	}
+	if _, err := SampleSize(0, 0.05, 0.9, 1.5); err == nil {
+		t.Fatal("p=1.5 accepted")
+	}
+}
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-4.571428571) > 1e-6 {
+		t.Fatalf("Variance = %v, want ~4.571", v)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("Median odd = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("Median even = %v", m)
+	}
+	if m := Median(nil); m != 0 {
+		t.Fatalf("Median empty = %v", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4}
+	Median(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 4 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestSummarizeCIContainsMean(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Bound magnitudes to avoid float overflow noise.
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s, err := Summarize(xs, 0.95)
+		if err != nil {
+			return false
+		}
+		return s.CILow <= s.Mean && s.Mean <= s.CIHigh &&
+			s.Min <= s.Mean && s.Mean <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil, 0.95); err == nil {
+		t.Fatal("Summarize(nil) accepted")
+	}
+}
+
+func TestSummarizeConstantSampleTightCI(t *testing.T) {
+	s, err := Summarize([]float64{3, 3, 3, 3}, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.CILow != 3 || s.CIHigh != 3 {
+		t.Fatalf("constant sample CI = [%v, %v], want [3,3]", s.CILow, s.CIHigh)
+	}
+}
+
+func TestPoissonCI(t *testing.T) {
+	lo, hi, err := PoissonCI(100, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= 100 || hi <= 100 {
+		t.Fatalf("CI [%v,%v] does not bracket 100", lo, hi)
+	}
+	lo, _, err = PoissonCI(0, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 {
+		t.Fatalf("zero-count CI low = %v, want 0", lo)
+	}
+}
+
+func TestNormalTail(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.158655},
+		{2, 0.022750},
+		{3, 0.001350},
+	}
+	for _, c := range cases {
+		got := NormalTail(c.x)
+		if math.Abs(got-c.want) > 1e-5 {
+			t.Fatalf("NormalTail(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalTailMonotone(t *testing.T) {
+	prev := 1.0
+	for x := -4.0; x <= 4.0; x += 0.25 {
+		v := NormalTail(x)
+		if v > prev {
+			t.Fatalf("NormalTail not monotone at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestMarginOfErrorShrinksWithTrials(t *testing.T) {
+	m130, _ := MarginOfError(130, 0.90)
+	m520, _ := MarginOfError(520, 0.90)
+	if math.Abs(m130/m520-2) > 1e-9 {
+		t.Fatalf("margin should halve when trials quadruple: %v vs %v", m130, m520)
+	}
+}
+
+func BenchmarkSummarize(b *testing.B) {
+	xs := make([]float64, 130)
+	for i := range xs {
+		xs[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Summarize(xs, 0.90); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

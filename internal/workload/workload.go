@@ -1,0 +1,155 @@
+// Package workload provides the synthetic access-pattern generators the
+// bandwidth studies drive the DRAM timing model with. The paper's
+// introduction motivates HBM with bandwidth-hungry, data-intensive
+// applications; these generators characterize how much of the pin
+// bandwidth different access shapes actually sustain, and therefore how
+// much power-per-useful-byte undervolting saves for each.
+package workload
+
+import (
+	"fmt"
+
+	"hbmvolt/internal/dramctl"
+	"hbmvolt/internal/prf"
+)
+
+// Access is one generated memory operation.
+type Access struct {
+	Addr uint64
+	Op   dramctl.Op
+}
+
+// Generator produces a deterministic stream of accesses over a word
+// address space of the given size.
+type Generator interface {
+	// Name identifies the workload in reports.
+	Name() string
+	// Next returns the i-th access of the stream.
+	Next(i uint64, space uint64) Access
+}
+
+// Sequential streams reads (or a read/write mix) through the address
+// space in order — the paper's Algorithm 1 shape and the best case for
+// DRAM timing.
+func Sequential(writeEvery int) Generator {
+	return sequential{writeEvery}
+}
+
+type sequential struct{ writeEvery int }
+
+func (s sequential) Name() string {
+	if s.writeEvery <= 0 {
+		return "sequential-read"
+	}
+	return fmt.Sprintf("sequential-rw%d", s.writeEvery)
+}
+
+func (s sequential) Next(i, space uint64) Access {
+	op := dramctl.Read
+	if s.writeEvery > 0 && i%uint64(s.writeEvery) == 0 {
+		op = dramctl.Write
+	}
+	return Access{Addr: i % space, Op: op}
+}
+
+// Strided jumps by a fixed word stride (matrix-column walks, texture
+// fetches). Large strides defeat row-buffer locality.
+func Strided(stride uint64) Generator { return strided{stride} }
+
+type strided struct{ stride uint64 }
+
+func (s strided) Name() string { return fmt.Sprintf("strided-%d", s.stride) }
+
+func (s strided) Next(i, space uint64) Access {
+	return Access{Addr: (i * s.stride) % space, Op: dramctl.Read}
+}
+
+// Random scatters accesses uniformly (hash joins, graph traversal) —
+// the worst case for row-buffer locality.
+func Random(seed uint64) Generator { return random{seed} }
+
+type random struct{ seed uint64 }
+
+func (r random) Name() string { return "random" }
+
+func (r random) Next(i, space uint64) Access {
+	return Access{Addr: prf.Hash2(r.seed, i) % space, Op: dramctl.Read}
+}
+
+// Hotspot concentrates a fraction of accesses on a small region (key-
+// value caches, zipfian keys): 90% of accesses to 10% of the space by
+// default proportions.
+func Hotspot(seed uint64) Generator { return hotspot{seed} }
+
+type hotspot struct{ seed uint64 }
+
+func (h hotspot) Name() string { return "hotspot-90-10" }
+
+func (h hotspot) Next(i, space uint64) Access {
+	u := prf.Hash2(h.seed, i)
+	hot := space / 10
+	if hot == 0 {
+		hot = 1
+	}
+	if u%10 != 0 { // 90% of accesses
+		return Access{Addr: prf.Hash3(h.seed, i, 1) % hot, Op: dramctl.Read}
+	}
+	return Access{Addr: prf.Hash3(h.seed, i, 2) % space, Op: dramctl.Read}
+}
+
+// Standard returns the workload suite the bandwidth study runs.
+func Standard() []Generator {
+	return []Generator{
+		Sequential(0),
+		Sequential(4), // 25% writes
+		Strided(32),   // row-sized hops
+		Strided(513),  // prime stride, bank-scattering
+		Hotspot(1),
+		Random(1),
+	}
+}
+
+// Result is the outcome of driving one workload through the timing
+// model.
+type Result struct {
+	Name string
+	// BandwidthGBs is the sustained DRAM-side bandwidth of one pseudo
+	// channel.
+	BandwidthGBs float64
+	// Efficiency is BandwidthGBs over the pin peak.
+	Efficiency float64
+	// RowHitRate is the row-buffer locality the pattern achieved.
+	RowHitRate float64
+}
+
+// Run drives n accesses of the generator through a fresh controller.
+func Run(g Generator, t dramctl.Timing, geom dramctl.Geometry, space, n uint64) (Result, error) {
+	c, err := dramctl.New(t, geom)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := uint64(0); i < n; i++ {
+		a := g.Next(i, space)
+		c.Access(a.Addr, a.Op)
+	}
+	sec := c.ElapsedSeconds()
+	res := Result{Name: g.Name(), RowHitRate: c.Stats().RowHitRate()}
+	if sec > 0 {
+		res.BandwidthGBs = float64(n) * 32 / sec / 1e9
+		res.Efficiency = res.BandwidthGBs / t.PeakBandwidthGBs()
+	}
+	return res, nil
+}
+
+// RunSuite evaluates the standard suite.
+func RunSuite(t dramctl.Timing, geom dramctl.Geometry, space, n uint64) ([]Result, error) {
+	var out []Result
+	for _, g := range Standard() {
+		r, err := Run(g, t, geom, space, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

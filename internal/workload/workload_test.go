@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"testing"
+
+	"hbmvolt/internal/dramctl"
+)
+
+const (
+	space = 1 << 20
+	n     = 1 << 16
+)
+
+func runOne(t *testing.T, g Generator) Result {
+	t.Helper()
+	r, err := Run(g, dramctl.DefaultTiming(), dramctl.DefaultGeometry, space, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSequentialNearPeak(t *testing.T) {
+	r := runOne(t, Sequential(0))
+	if r.Efficiency < 0.85 {
+		t.Fatalf("sequential efficiency = %v", r.Efficiency)
+	}
+	if r.RowHitRate < 0.9 {
+		t.Fatalf("sequential row hit rate = %v", r.RowHitRate)
+	}
+}
+
+func TestWriteMixCostsBandwidth(t *testing.T) {
+	ro := runOne(t, Sequential(0))
+	rw := runOne(t, Sequential(4))
+	if rw.BandwidthGBs >= ro.BandwidthGBs {
+		t.Fatalf("read/write mix (%v) not below read-only (%v): turnaround penalty missing",
+			rw.BandwidthGBs, ro.BandwidthGBs)
+	}
+}
+
+func TestRandomWorstCase(t *testing.T) {
+	seq := runOne(t, Sequential(0))
+	rnd := runOne(t, Random(1))
+	if rnd.BandwidthGBs >= seq.BandwidthGBs/2 {
+		t.Fatalf("random (%v) should be far below sequential (%v)",
+			rnd.BandwidthGBs, seq.BandwidthGBs)
+	}
+	if rnd.RowHitRate > 0.5 {
+		t.Fatalf("random row hit rate = %v", rnd.RowHitRate)
+	}
+}
+
+func TestHotspotBetweenExtremes(t *testing.T) {
+	seq := runOne(t, Sequential(0))
+	hot := runOne(t, Hotspot(1))
+	rnd := runOne(t, Random(1))
+	if !(hot.BandwidthGBs < seq.BandwidthGBs) {
+		t.Fatalf("hotspot (%v) not below sequential (%v)", hot.BandwidthGBs, seq.BandwidthGBs)
+	}
+	// Hotspot concentrates on a small region: more locality than pure
+	// random.
+	if hot.RowHitRate <= rnd.RowHitRate {
+		t.Fatalf("hotspot hit rate %v not above random %v", hot.RowHitRate, rnd.RowHitRate)
+	}
+}
+
+func TestStridePenalty(t *testing.T) {
+	small := runOne(t, Strided(1))
+	large := runOne(t, Strided(513))
+	if large.BandwidthGBs >= small.BandwidthGBs {
+		t.Fatalf("large stride (%v) not slower than unit stride (%v)",
+			large.BandwidthGBs, small.BandwidthGBs)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, g := range Standard() {
+		for i := uint64(0); i < 100; i++ {
+			if g.Next(i, space) != g.Next(i, space) {
+				t.Fatalf("%s not deterministic at %d", g.Name(), i)
+			}
+			if g.Next(i, space).Addr >= space {
+				t.Fatalf("%s out of space at %d", g.Name(), i)
+			}
+		}
+	}
+}
+
+func TestNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, g := range Standard() {
+		if seen[g.Name()] {
+			t.Fatalf("duplicate workload name %s", g.Name())
+		}
+		seen[g.Name()] = true
+	}
+}
+
+func TestRunSuite(t *testing.T) {
+	rs, err := RunSuite(dramctl.DefaultTiming(), dramctl.DefaultGeometry, space, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(Standard()) {
+		t.Fatalf("suite results = %d", len(rs))
+	}
+	for _, r := range rs {
+		if r.BandwidthGBs <= 0 || r.Efficiency <= 0 || r.Efficiency > 1 {
+			t.Fatalf("%s: implausible result %+v", r.Name, r)
+		}
+	}
+}
+
+func TestRunRejectsBadTiming(t *testing.T) {
+	bad := dramctl.DefaultTiming()
+	bad.ClockMHz = 0
+	if _, err := Run(Sequential(0), bad, dramctl.DefaultGeometry, space, n); err == nil {
+		t.Fatal("bad timing accepted")
+	}
+}
+
+func BenchmarkSequentialStream(b *testing.B) {
+	g := Sequential(0)
+	c, err := dramctl.New(dramctl.DefaultTiming(), dramctl.DefaultGeometry)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next(uint64(i), space)
+		c.Access(a.Addr, a.Op)
+	}
+}
