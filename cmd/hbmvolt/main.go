@@ -38,13 +38,14 @@ import (
 
 var (
 	flagSeed  = flag.Uint64("seed", 0, "device instance seed (0 = the calibrated paper board)")
-	flagScale = flag.Uint64("scale", 256, "capacity divisor for Monte-Carlo commands (power of two; 1 = full 8 GB)")
+	flagScale = flag.Uint64("scale", 1, "capacity divisor for Monte-Carlo commands (power of two; 1 = the paper's full 8 GB)")
 	flagNoise = flag.Float64("noise", 0.005, "relative measurement noise of the monitor chain (0 = exact)")
 	flagCSV   = flag.String("csv", "", "also write machine-readable data to this file (fig2/fig5)")
 	flagTol   = flag.Float64("tol", 0, "tradeoff: tolerable cell fault rate (e.g. 1e-6 for 0.0001%)")
 	flagPCs   = flag.Int("pcs", 32, "tradeoff: minimum pseudo channels required")
 	flagBatch = flag.Int("batch", 5, "reliability: batch size (paper uses 130)")
-	flagVolts = flag.Float64("volts", 0.90, "reliability: single test voltage")
+	flagVolts = flag.Float64("volts", 0, "reliability: single test voltage (0 = full 1.20V→0.81V sweep)")
+	flagExact = flag.Bool("exact", false, "bit-exact per-cell fault sampling instead of sparse enumeration (slow at full scale; pair with -scale)")
 )
 
 func main() {
@@ -78,9 +79,10 @@ func usage() {
 
 func newSystem() (*hbmvolt.System, error) {
 	return hbmvolt.New(hbmvolt.Config{
-		Seed:       *flagSeed,
-		Scale:      *flagScale,
-		NoiseSigma: *flagNoise,
+		Seed:         *flagSeed,
+		Scale:        *flagScale,
+		NoiseSigma:   *flagNoise,
+		SparseFaults: !*flagExact,
 	})
 }
 
@@ -184,16 +186,25 @@ func gridAround(hi, lo float64) []float64 {
 }
 
 func runReliability(sys *hbmvolt.System) error {
+	// The default is the paper's whole-HBM methodology: every word of
+	// every pseudo channel, across the full voltage ladder.
+	var grid []float64
+	where := "1.20V→0.81V sweep"
+	if *flagVolts != 0 {
+		grid = []float64{*flagVolts}
+		where = fmt.Sprintf("%.2fV", *flagVolts)
+	}
 	res, err := sys.RunReliability(hbmvolt.ReliabilityConfig{
-		Grid:      []float64{*flagVolts},
+		Grid:      grid,
 		BatchSize: *flagBatch,
+		Parallel:  true,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Algorithm 1 at %.2fV (batch %d, margin ±%.1f%% @90%%):\n",
-		*flagVolts, *flagBatch, res.Margin*100)
-	tbl := report.NewTable("port", "pattern", "mean flips", "bit fault rate", "ci low", "ci high")
+	fmt.Printf("Algorithm 1, %s (batch %d, margin ±%.1f%% @90%%):\n",
+		where, *flagBatch, res.Margin*100)
+	tbl := report.NewTable("volts", "port", "pattern", "mean flips", "bit fault rate", "ci low", "ci high")
 	for _, pt := range res.Points {
 		if pt.Crashed {
 			fmt.Printf("  %.2fV: DEVICE CRASHED (power cycle performed)\n", pt.Volts)
@@ -204,6 +215,7 @@ func runReliability(sys *hbmvolt.System) error {
 				continue
 			}
 			tbl.AddRow(
+				fmt.Sprintf("%.2f", pt.Volts),
 				fmt.Sprintf("%d", obs.Port),
 				obs.Pattern,
 				fmt.Sprintf("%.1f", obs.MeanFlips),

@@ -7,6 +7,15 @@ import (
 	"testing"
 )
 
+// setFlag mutates a CLI flag for one test and restores the previous
+// value afterwards, so tests never leak flag state into each other.
+func setFlag[T any](t *testing.T, p *T, v T) {
+	t.Helper()
+	old := *p
+	*p = v
+	t.Cleanup(func() { *p = old })
+}
+
 // silenceStdout redirects os.Stdout to /dev/null for the test and
 // restores it afterwards.
 func silenceStdout(t *testing.T) {
@@ -25,10 +34,10 @@ func silenceStdout(t *testing.T) {
 
 func TestRunAllCommands(t *testing.T) {
 	silenceStdout(t)
-	*flagScale = 1024
-	*flagNoise = 0
-	*flagBatch = 2
-	*flagVolts = 0.90
+	setFlag(t, flagScale, 1024)
+	setFlag(t, flagNoise, 0)
+	setFlag(t, flagBatch, 2)
+	setFlag(t, flagVolts, 0.90)
 	commands := []string{
 		"info", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"ecc", "temp", "capacity", "bandwidth",
@@ -38,6 +47,32 @@ func TestRunAllCommands(t *testing.T) {
 		if err := run(cmd); err != nil {
 			t.Fatalf("command %q: %v", cmd, err)
 		}
+	}
+}
+
+// TestReliabilityFullSweep exercises the default reliability mode: the
+// whole voltage ladder on every port (scaled down here so the unit test
+// stays fast; the full-capacity sweep is the CLI default).
+func TestReliabilityFullSweep(t *testing.T) {
+	silenceStdout(t)
+	setFlag(t, flagScale, 1024)
+	setFlag(t, flagNoise, 0)
+	setFlag(t, flagBatch, 2)
+	setFlag(t, flagVolts, 0) // full 1.20V→0.81V sweep (the default)
+	if err := run("reliability"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReliabilityExactMode covers the -exact escape hatch.
+func TestReliabilityExactMode(t *testing.T) {
+	silenceStdout(t)
+	setFlag(t, flagScale, 1024)
+	setFlag(t, flagBatch, 2)
+	setFlag(t, flagVolts, 0.90)
+	setFlag(t, flagExact, true)
+	if err := run("reliability"); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -51,11 +86,10 @@ func TestRunUnknownCommand(t *testing.T) {
 
 func TestRunCSVExport(t *testing.T) {
 	silenceStdout(t)
-	*flagScale = 1024
-	*flagNoise = 0
+	setFlag(t, flagScale, 1024)
+	setFlag(t, flagNoise, 0)
 	path := filepath.Join(t.TempDir(), "fig2.csv")
-	*flagCSV = path
-	t.Cleanup(func() { *flagCSV = "" })
+	setFlag(t, flagCSV, path)
 	if err := run("fig2"); err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +104,9 @@ func TestRunCSVExport(t *testing.T) {
 
 func TestTradeoffInfeasible(t *testing.T) {
 	silenceStdout(t)
-	*flagScale = 1024
-	*flagTol = 0
-	*flagPCs = 33
-	t.Cleanup(func() { *flagTol = 0; *flagPCs = 32 })
+	setFlag(t, flagScale, 1024)
+	setFlag(t, flagTol, 0)
+	setFlag(t, flagPCs, 33)
 	if err := run("tradeoff"); err == nil {
 		t.Fatal("impossible plan accepted")
 	}

@@ -1,0 +1,3 @@
+module hbmvolt
+
+go 1.24

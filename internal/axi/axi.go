@@ -188,6 +188,60 @@ func (p *Port) ReadWord(addr uint64) (pattern.Word, error) {
 	return st.ReadWord(pc, addr)
 }
 
+// WriteRange issues count sequential write beats from start as one bulk
+// transaction: one target resolution, one ranged store, one ranged
+// timing advance.
+func (p *Port) WriteRange(start, count uint64, pat pattern.Pattern) error {
+	if !p.enabled {
+		return fmt.Errorf("axi: port %d disabled", p.id)
+	}
+	st, pc, err := p.target()
+	if err != nil {
+		return err
+	}
+	if err := st.WriteRange(pc, start, count, pat); err != nil {
+		return err
+	}
+	p.ctl.AccessRange(start, count, dramctl.Write)
+	return nil
+}
+
+// ReadRange issues count sequential unchecked read beats (bandwidth
+// traffic) as one bulk transaction.
+func (p *Port) ReadRange(start, count uint64) error {
+	if !p.enabled {
+		return fmt.Errorf("axi: port %d disabled", p.id)
+	}
+	st, pc, err := p.target()
+	if err != nil {
+		return err
+	}
+	if err := st.ReadRange(pc, start, count); err != nil {
+		return err
+	}
+	p.ctl.AccessRange(start, count, dramctl.Read)
+	return nil
+}
+
+// ReadCheckRange reads count beats from start and compares them against
+// pat in one bulk transaction, returning the flip classification and the
+// faulty-word count.
+func (p *Port) ReadCheckRange(start, count uint64, pat pattern.Pattern) (pattern.Flips, uint64, error) {
+	if !p.enabled {
+		return pattern.Flips{}, 0, fmt.Errorf("axi: port %d disabled", p.id)
+	}
+	st, pc, err := p.target()
+	if err != nil {
+		return pattern.Flips{}, 0, err
+	}
+	flips, faulty, err := st.ReadCheckRange(pc, start, count, pat)
+	if err != nil {
+		return pattern.Flips{}, 0, err
+	}
+	p.ctl.AccessRange(start, count, dramctl.Read)
+	return flips, faulty, nil
+}
+
 // ResetTiming discards the DRAM-side timing state (the per-batch
 // reset_axi_ports() of Algorithm 1).
 func (p *Port) ResetTiming() error {

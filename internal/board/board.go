@@ -46,6 +46,10 @@ type Config struct {
 	// SwitchEnabled turns the AXI switching network on (the paper keeps
 	// it off).
 	SwitchEnabled bool
+	// SparseFaults selects the fault model's sparse enumeration mode:
+	// full-capacity Algorithm 1 traffic costs O(#faults) instead of
+	// O(bits). See faults.Config.SparseEnumeration for the trade-off.
+	SparseFaults bool
 	// Profiles optionally overrides the per-PC fault variation.
 	Profiles *[faults.NumPCs]faults.PCProfile
 }
@@ -83,6 +87,7 @@ func New(cfg Config) (*Board, error) {
 		fcfg.Temperature = cfg.Temperature
 	}
 	fcfg.Geometry = faults.Geometry{WordsPerPC: org.WordsPerPC, WordsPerRow: org.WordsPerRow}
+	fcfg.SparseEnumeration = cfg.SparseFaults
 	if cfg.Profiles != nil {
 		fcfg.Profiles = *cfg.Profiles
 	}

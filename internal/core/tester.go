@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sync"
 
 	"hbmvolt/internal/axi"
@@ -107,10 +109,12 @@ type ReliabilityResult struct {
 	Margin float64
 }
 
-// Point returns the voltage point for v, or nil.
+// Point returns the voltage point for v, or nil. Voltages match within
+// half a grid step, so values like 0.87 resolve regardless of whether
+// the caller and the grid builder accumulated the same float64 rounding.
 func (r *ReliabilityResult) Point(v float64) *VoltagePoint {
 	for i := range r.Points {
-		if r.Points[i].Volts == v {
+		if math.Abs(r.Points[i].Volts-v) < faults.VStep/2 {
 			return &r.Points[i]
 		}
 	}
@@ -179,13 +183,20 @@ func RunReliability(cfg ReliabilityConfig) (*ReliabilityResult, error) {
 // runPorts runs the batched fill/check of Algorithm 1 on the given
 // ports, optionally driving them concurrently within each batch
 // repetition (the hardware's natural mode: all traffic generators run
-// at once).
+// at once). Parallel execution reuses one bounded worker pool across
+// every (port × repetition) task — repetitions form a barrier, because
+// the batch-rep register is device-global state, but the goroutines and
+// result buffers live once for the whole batch instead of being respawned
+// per repetition.
 func runPorts(b *board.Board, ports []hbm.PortID, pat pattern.Pattern, words uint64, batch int, parallel bool) ([]PortObservation, error) {
 	type acc struct {
 		flips, faulty float64
 		runs          []float64
 	}
 	accs := make([]acc, len(ports))
+	for i := range accs {
+		accs[i].runs = make([]float64, 0, batch)
+	}
 
 	saved := make([]bool, len(ports))
 	for i, p := range ports {
@@ -198,18 +209,30 @@ func runPorts(b *board.Board, ports []hbm.PortID, pat pattern.Pattern, words uin
 		}
 	}()
 
+	results := make([]axi.Stats, len(ports))
+	errs := make([]error, len(ports))
+
+	var tasks chan int
+	var wg sync.WaitGroup
+	if workers := min(len(ports), runtime.GOMAXPROCS(0)); parallel && workers > 1 {
+		tasks = make(chan int, len(ports))
+		defer close(tasks)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for i := range tasks {
+					results[i], errs[i] = runOnePass(b.TGs[ports[i]], pat, words)
+					wg.Done()
+				}
+			}()
+		}
+	}
+
 	for rep := 0; rep < batch; rep++ {
 		b.Device.SetBatchRep(uint64(rep))
-		results := make([]axi.Stats, len(ports))
-		errs := make([]error, len(ports))
-		if parallel {
-			var wg sync.WaitGroup
-			for i, p := range ports {
-				wg.Add(1)
-				go func(i int, p hbm.PortID) {
-					defer wg.Done()
-					results[i], errs[i] = runOnePass(b.TGs[p], pat, words)
-				}(i, p)
+		if tasks != nil {
+			wg.Add(len(ports))
+			for i := range ports {
+				tasks <- i
 			}
 			wg.Wait()
 		} else {

@@ -1,0 +1,111 @@
+package dramctl
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAccessRangeSmallIsExact: below the threshold AccessRange is the
+// per-word scheduler, cycle for cycle.
+func TestAccessRangeSmallIsExact(t *testing.T) {
+	exact, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = bulkExactThreshold
+	var wantDone float64
+	for a := uint64(0); a < n; a++ {
+		wantDone = exact.Access(a, Write)
+	}
+	if got := bulk.AccessRange(0, n, Write); got != wantDone {
+		t.Fatalf("small AccessRange done = %v, exact = %v", got, wantDone)
+	}
+	if exact.Stats() != bulk.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", exact.Stats(), bulk.Stats())
+	}
+}
+
+// TestAccessRangeExtrapolated exercises the statistical branch (count
+// above the threshold): elapsed time must track the exact scheduler
+// within a few percent, statistics must stay internally consistent, and
+// the controller must remain usable for further accesses.
+func TestAccessRangeExtrapolated(t *testing.T) {
+	const n = 1 << 20 // 64x the exact threshold
+	for _, op := range []Op{Read, Write} {
+		exact, err := New(DefaultTiming(), DefaultGeometry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for a := uint64(0); a < n; a++ {
+			exact.Access(a, op)
+		}
+		bulk, err := New(DefaultTiming(), DefaultGeometry)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := bulk.AccessRange(0, n, op)
+
+		if math.IsNaN(done) || math.IsInf(done, 0) || done <= 0 {
+			t.Fatalf("op %v: degenerate completion cycle %v", op, done)
+		}
+		ratio := bulk.ElapsedSeconds() / exact.ElapsedSeconds()
+		if ratio < 0.95 || ratio > 1.05 {
+			t.Fatalf("op %v: extrapolated time off by %vx (bulk %v, exact %v)",
+				op, ratio, bulk.ElapsedSeconds(), exact.ElapsedSeconds())
+		}
+		st := bulk.Stats()
+		if st.Accesses != n {
+			t.Fatalf("op %v: accesses = %d, want %d", op, st.Accesses, n)
+		}
+		if st.RowHits+st.RowMisses != n {
+			t.Fatalf("op %v: hits %d + misses %d != %d", op, st.RowHits, st.RowMisses, n)
+		}
+		if st.Refreshes == 0 {
+			t.Fatalf("op %v: a %d-word stream must cross refresh intervals", op, n)
+		}
+		if u := st.BusUtilization(); u <= 0 || u > 1 {
+			t.Fatalf("op %v: bus utilization %v", op, u)
+		}
+
+		// The controller keeps scheduling correctly after the fast-forward:
+		// time advances monotonically and refresh bookkeeping holds.
+		prev := done
+		for a := uint64(n); a < n+100; a++ {
+			next := bulk.Access(a, op)
+			if next <= prev-1e-9 {
+				t.Fatalf("op %v: time went backwards after bulk fast-forward (%v -> %v)", op, prev, next)
+			}
+			prev = next
+		}
+		if bulk.nextRefresh <= done-1e-9 {
+			t.Fatalf("op %v: refresh schedule left behind the clock", op)
+		}
+	}
+}
+
+// TestAccessRangeSplitMatchesWhole: chaining bulk ranges accumulates
+// the same totals as one big range (no per-call fixed distortion).
+func TestAccessRangeSplitMatchesWhole(t *testing.T) {
+	whole, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole.AccessRange(0, 1<<20, Read)
+	split, err := New(DefaultTiming(), DefaultGeometry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split.AccessRange(0, 1<<19, Read)
+	split.AccessRange(1<<19, 1<<19, Read)
+	r := split.ElapsedSeconds() / whole.ElapsedSeconds()
+	if r < 0.99 || r > 1.01 {
+		t.Fatalf("split ranges cost %vx the whole range", r)
+	}
+	if split.Stats().Accesses != whole.Stats().Accesses {
+		t.Fatal("access counters differ")
+	}
+}

@@ -169,4 +169,9 @@ const (
 	saltPol     = 0xc0ffee_0002
 	saltCluster = 0xc0ffee_0003
 	saltJitter  = 0xc0ffee_0004
+	// saltSparse keys the per-row fault-count and position draws of the
+	// sparse enumeration mode; saltAggregate keys its per-segment
+	// aggregate count draws.
+	saltSparse    = 0xc0ffee_0005
+	saltAggregate = 0xc0ffee_0006
 )

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 
+	"hbmvolt/internal/pattern"
 	"hbmvolt/internal/prf"
 )
 
@@ -81,6 +82,15 @@ type Config struct {
 	// Profiles holds per-PC variation (index = stack*16 + pc). Zero-value
 	// entries are replaced by the calibrated defaults.
 	Profiles [NumPCs]PCProfile
+	// SparseEnumeration switches samplers from the bit-exact per-cell
+	// draw to the sparse O(#faults) enumeration: per-row fault counts and
+	// positions are drawn directly (keyed on seed, PC and row), so range
+	// scans cost proportional to the faults they contain instead of the
+	// bits they cover. The two modes realize different (but statistically
+	// identical) devices; sampling tests assert both agree with the
+	// analytic expectations within Poisson bounds. Leave false for
+	// bit-reproducible per-cell fault maps.
+	SparseEnumeration bool
 }
 
 // DefaultConfig returns the calibrated configuration reproducing the
@@ -284,11 +294,14 @@ type Sampler struct {
 	idx         int
 	seed        uint64
 	wordsPerRow uint64
+	v           float64
 	// thresholds (scaled to uint64) for cells outside / inside clusters
 	outStuck, outTail uint64
 	inStuck, inTail   uint64
 	anyFaults         bool
 	clusterOnly       bool
+	// sparse selects the O(#faults) enumeration mode (Config.SparseEnumeration).
+	sparse bool
 	// batch jitter: per-cell choice among {lo, mid, hi} thresholds
 	jitter       bool
 	rep          uint64
@@ -333,12 +346,13 @@ func (m *Model) newSampler(stack, pc int, v float64, jitter bool, rep uint64) *S
 		idx:         idx,
 		seed:        m.cfg.Seed,
 		wordsPerRow: m.cfg.Geometry.WordsPerRow,
+		v:           v,
 		outStuck:    scale64(sOut),
 		outTail:     scale64(tOut),
 		inStuck:     scale64(sIn),
 		inTail:      scale64(tIn),
 		anyFaults:   sOut > 0 || sIn > 0,
-		clusterOnly: sOut == 0 && sIn > 0,
+		sparse:      m.cfg.SparseEnumeration,
 		jitter:      jitter,
 		rep:         rep,
 	}
@@ -349,22 +363,46 @@ func (m *Model) newSampler(stack, pc int, v float64, jitter bool, rep uint64) *S
 		s.inLo = scale64(m.cellSurvival(idx, v+d, true))
 		s.inHi = scale64(m.cellSurvival(idx, v-d, true))
 		s.anyFaults = s.anyFaults || s.outHi > 0 || s.inHi > 0
-		s.clusterOnly = s.outHi == 0 && (s.inHi > 0 || s.inStuck > 0)
 	}
+	// A region whose scaled thresholds are all zero can never win a
+	// draw, so out-of-cluster words are provably clean exactly when both
+	// out thresholds are zero — a sharper (but draw-identical) test than
+	// comparing float survivals, and the property that lets range scans
+	// skip every row outside the weak clusters.
+	outDead := s.outStuck == 0 && (!jitter || s.outHi == 0)
+	inLive := s.inStuck > 0 || (jitter && s.inHi > 0)
+	s.clusterOnly = outDead && inLive
 	return s
 }
 
 // WordFaults appends the stuck cells of word addr (a word index within
-// the pseudo channel) to dst and returns it. The result is deterministic
-// and monotone in voltage: every fault present at voltage v is present at
-// every voltage below v.
+// the pseudo channel) to dst and returns it. On the bit-exact path the
+// result is deterministic and monotone in voltage: every fault present
+// at voltage v is present at every voltage below v. In sparse mode the
+// word's faults come from the same per-row draws RangeFaults uses, so
+// single-word reads and bulk range checks observe one consistent device.
 func (s *Sampler) WordFaults(addr uint64, dst []CellFault) []CellFault {
 	if !s.anyFaults {
 		return dst
 	}
+	if s.sparse {
+		s.sparseRange(addr, 1, func(_ uint64, f CellFault) {
+			dst = append(dst, f)
+		})
+		return dst
+	}
+	s.wordFaults(addr, func(_ uint64, f CellFault) {
+		dst = append(dst, f)
+	})
+	return dst
+}
+
+// wordFaults runs the bit-exact per-cell draw for one word, yielding
+// each stuck cell in bit order.
+func (s *Sampler) wordFaults(addr uint64, visit func(addr uint64, f CellFault)) {
 	inCluster := s.m.clusters[s.idx].contains(addr / s.wordsPerRow)
 	if s.clusterOnly && !inCluster {
-		return dst
+		return
 	}
 	stuck, tail := s.outStuck, s.outTail
 	lo, hi := s.outLo, s.outHi
@@ -372,12 +410,22 @@ func (s *Sampler) WordFaults(addr uint64, dst []CellFault) []CellFault {
 		stuck, tail = s.inStuck, s.inTail
 		lo, hi = s.inLo, s.inHi
 	}
-	if stuck == 0 && (!s.jitter || hi == 0) {
-		return dst
+	// No jitter branch can exceed max(stuck, hi), so a draw at or above
+	// it is clean on every branch — the hot early-out that keeps the
+	// per-bit cost at one SplitMix round for clean cells.
+	maxThr := stuck
+	if s.jitter && hi > maxThr {
+		maxThr = hi
 	}
-	base := prf.Hash3(s.seed^saltVc, uint64(s.idx), addr)
+	if maxThr == 0 {
+		return
+	}
+	base := prf.Mix64(prf.Hash3(s.seed^saltVc, uint64(s.idx), addr))
 	for bit := 0; bit < 256; bit++ {
-		u := prf.Hash2(base, uint64(bit))
+		u := prf.Mix64(base ^ uint64(bit))
+		if u >= maxThr {
+			continue
+		}
 		thr := stuck
 		if s.jitter {
 			// Marginal cells see a per-(cell, rep) effective voltage
@@ -401,9 +449,92 @@ func (s *Sampler) WordFaults(addr uint64, dst []CellFault) []CellFault {
 				pol = StuckAt1
 			}
 		}
-		dst = append(dst, CellFault{Bit: bit, Polarity: pol})
+		visit(addr, CellFault{Bit: bit, Polarity: pol})
 	}
-	return dst
+}
+
+// RangeFaults visits every stuck cell in the word-address window
+// [start, start+count), in ascending (address, bit) order. On the
+// bit-exact path it walks only the rows that can hold faults — when the
+// supply is above the bulk knee that is just the precomputed weak-cluster
+// ranges, so clean regions cost nothing. In sparse mode it enumerates
+// the per-row draws directly and costs O(#faults in the window).
+func (s *Sampler) RangeFaults(start, count uint64, visit func(addr uint64, f CellFault)) {
+	if count == 0 || !s.anyFaults {
+		return
+	}
+	if s.sparse {
+		s.sparseRange(start, count, visit)
+		return
+	}
+	end := start + count
+	if !s.clusterOnly {
+		for a := start; a < end; a++ {
+			s.wordFaults(a, visit)
+		}
+		return
+	}
+	wpr := s.wordsPerRow
+	for _, r := range s.m.clusters[s.idx].ranges {
+		lo, hi := r.Lo*wpr, r.Hi*wpr
+		if lo < start {
+			lo = start
+		}
+		if hi > end {
+			hi = end
+		}
+		for a := lo; a < hi; a++ {
+			s.wordFaults(a, visit)
+		}
+	}
+}
+
+// RangeFaultWords groups RangeFaults by word: visit receives each
+// faulted word address once, with its stuck cells in bit order. The
+// slice is reused between calls; copy it to retain.
+func (s *Sampler) RangeFaultWords(start, count uint64, visit func(addr uint64, fs []CellFault)) {
+	g := grouper{visit: visit}
+	s.RangeFaults(start, count, g.add)
+	g.flush()
+}
+
+// grouper converts a flat (addr, fault) stream into per-word batches.
+type grouper struct {
+	visit  func(addr uint64, fs []CellFault)
+	buf    []CellFault
+	cur    uint64
+	active bool
+}
+
+func (g *grouper) add(addr uint64, f CellFault) {
+	if g.active && addr != g.cur {
+		g.visit(g.cur, g.buf)
+		g.buf = g.buf[:0]
+	}
+	g.cur = addr
+	g.active = true
+	g.buf = append(g.buf, f)
+}
+
+func (g *grouper) flush() {
+	if g.active {
+		g.visit(g.cur, g.buf)
+		g.buf = g.buf[:0]
+		g.active = false
+	}
+}
+
+// Overlay applies stuck-cell faults to a stored word, producing what a
+// read returns.
+func Overlay(w pattern.Word, fs []CellFault) pattern.Word {
+	for _, f := range fs {
+		if f.Polarity == StuckAt0 {
+			w = w.SetBit(f.Bit, 0)
+		} else {
+			w = w.SetBit(f.Bit, 1)
+		}
+	}
+	return w
 }
 
 // MightFault reports whether any cell of the sampled PC can be stuck at

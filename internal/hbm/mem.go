@@ -1,6 +1,10 @@
 package hbm
 
-import "hbmvolt/internal/pattern"
+import (
+	"sort"
+
+	"hbmvolt/internal/pattern"
+)
 
 // pageWords is the allocation granule of the sparse store: 4096 words =
 // 128 KB.
@@ -8,24 +12,50 @@ const pageWords = 4096
 
 type page [pageWords]pattern.Word
 
-// pagedMemory is a sparse word store with a uniform fill value. Pages
-// materialize only when a word deviates from the fill, so writing a
-// uniform test pattern over a 256 MB pseudo channel is O(1) — the trick
-// that makes Algorithm 1 runnable at realistic memSize.
+// fillRun is a half-open word-address range [Lo, Hi) whose unallocated
+// words all read W.
+type fillRun struct {
+	Lo, Hi uint64
+	W      pattern.Word
+}
+
+// pagedMemory is a sparse word store: an ordered list of uniform fill
+// runs covering the whole address space, with materialized pages layered
+// on top for words that deviate from their run's fill. Writing a uniform
+// test pattern over a 256 MB pseudo channel is O(existing runs + pages),
+// and reading a uniform region back costs O(runs + pages touched) — the
+// trick that makes Algorithm 1 runnable at realistic memSize.
 type pagedMemory struct {
 	words uint64
-	fill  pattern.Word
+	// fills is sorted, non-overlapping, and covers [0, words) exactly;
+	// adjacent runs always differ in fill word.
+	fills []fillRun
 	pages map[uint64]*page
 }
 
 func newPagedMemory(words uint64) *pagedMemory {
-	return &pagedMemory{words: words, pages: make(map[uint64]*page)}
+	return &pagedMemory{
+		words: words,
+		fills: []fillRun{{Lo: 0, Hi: words}},
+		pages: make(map[uint64]*page),
+	}
 }
 
 // Fill resets the whole region to the given word.
 func (m *pagedMemory) Fill(w pattern.Word) {
-	m.fill = w
+	m.fills = m.fills[:0]
+	m.fills = append(m.fills, fillRun{Lo: 0, Hi: m.words, W: w})
 	m.pages = make(map[uint64]*page)
+}
+
+// fillIndex returns the index of the fill run containing addr.
+func (m *pagedMemory) fillIndex(addr uint64) int {
+	return sort.Search(len(m.fills), func(i int) bool { return m.fills[i].Hi > addr })
+}
+
+// fillAt returns the background word at addr (ignoring pages).
+func (m *pagedMemory) fillAt(addr uint64) pattern.Word {
+	return m.fills[m.fillIndex(addr)].W
 }
 
 // Write stores w at addr.
@@ -33,16 +63,101 @@ func (m *pagedMemory) Write(addr uint64, w pattern.Word) {
 	pi := addr / pageWords
 	p, ok := m.pages[pi]
 	if !ok {
-		if w == m.fill {
+		if w == m.fillAt(addr) {
 			return // matches the background; nothing to materialize
 		}
-		p = &page{}
-		for i := range p {
-			p[i] = m.fill
-		}
-		m.pages[pi] = p
+		p = m.materialize(pi)
 	}
 	p[addr%pageWords] = w
+}
+
+// materialize allocates page pi initialized from the fill runs it spans.
+func (m *pagedMemory) materialize(pi uint64) *page {
+	p := &page{}
+	lo := pi * pageWords
+	hi := lo + pageWords
+	if hi > m.words {
+		hi = m.words
+	}
+	for i := m.fillIndex(lo); i < len(m.fills) && m.fills[i].Lo < hi; i++ {
+		r := m.fills[i]
+		a, b := r.Lo, r.Hi
+		if a < lo {
+			a = lo
+		}
+		if b > hi {
+			b = hi
+		}
+		for j := a; j < b; j++ {
+			p[j-lo] = r.W
+		}
+	}
+	m.pages[pi] = p
+	return p
+}
+
+// WriteUniform sets every word of [start, start+count) to w. Cost is
+// O(existing fill runs + allocated pages), independent of count: the
+// fill-run list is spliced and fully covered pages are dropped; only
+// pages straddling the range edges are patched word by word.
+func (m *pagedMemory) WriteUniform(start, count uint64, w pattern.Word) {
+	if count == 0 {
+		return
+	}
+	end := start + count
+	// Splice the fill-run list: keep runs outside [start, end), insert
+	// the new run, and merge equal neighbours.
+	out := make([]fillRun, 0, len(m.fills)+2)
+	for _, r := range m.fills {
+		if r.Hi <= start || r.Lo >= end {
+			out = append(out, r)
+			continue
+		}
+		if r.Lo < start {
+			out = append(out, fillRun{Lo: r.Lo, Hi: start, W: r.W})
+		}
+		if r.Hi > end {
+			out = append(out, fillRun{Lo: end, Hi: r.Hi, W: r.W})
+		}
+	}
+	out = append(out, fillRun{Lo: start, Hi: end, W: w})
+	sort.Slice(out, func(i, j int) bool { return out[i].Lo < out[j].Lo })
+	merged := out[:0]
+	for _, r := range out {
+		if n := len(merged); n > 0 && merged[n-1].Hi == r.Lo && merged[n-1].W == r.W {
+			merged[n-1].Hi = r.Hi
+			continue
+		}
+		merged = append(merged, r)
+	}
+	m.fills = merged
+
+	// Reconcile the page overlay: pages fully inside the range are now
+	// redundant; edge pages keep their out-of-range words and take w
+	// inside it.
+	for pi, p := range m.pages {
+		plo, phi := pi*pageWords, pi*pageWords+pageWords
+		if phi > m.words {
+			phi = m.words
+		}
+		if plo >= end || phi <= start {
+			continue
+		}
+		if plo >= start && phi <= end {
+			delete(m.pages, pi)
+			continue
+		}
+		a, b := plo, phi
+		if a < start {
+			a = start
+		}
+		if b > end {
+			b = end
+		}
+		for j := a; j < b; j++ {
+			p[j-plo] = w
+		}
+	}
 }
 
 // Read returns the word at addr.
@@ -50,7 +165,46 @@ func (m *pagedMemory) Read(addr uint64) pattern.Word {
 	if p, ok := m.pages[addr/pageWords]; ok {
 		return p[addr%pageWords]
 	}
-	return m.fill
+	return m.fillAt(addr)
+}
+
+// Runs walks [start, start+count) as maximal homogeneous runs, invoking
+// visit for each. A run is either page-backed (pg != nil; words holds
+// the run's slice of the page) or uniform (pg == nil; every word reads
+// fill). Runs are visited in ascending address order and cover the
+// window exactly once; uniform runs never cross a fill boundary.
+func (m *pagedMemory) Runs(start, count uint64, visit func(runStart, runCount uint64, words []pattern.Word, fill pattern.Word)) {
+	end := start + count
+	a := start
+	for a < end {
+		pi := a / pageWords
+		if p, ok := m.pages[pi]; ok {
+			b := (pi + 1) * pageWords
+			if b > end {
+				b = end
+			}
+			off := a % pageWords
+			visit(a, b-a, p[off:off+(b-a)], pattern.Word{})
+			a = b
+			continue
+		}
+		// Uniform span: extend across unallocated pages, clipped to the
+		// containing fill run.
+		fi := m.fillIndex(a)
+		b := m.fills[fi].Hi
+		if b > end {
+			b = end
+		}
+		// Stop at the first allocated page inside the span.
+		for npi := pi + 1; npi*pageWords < b; npi++ {
+			if _, ok := m.pages[npi]; ok {
+				b = npi * pageWords
+				break
+			}
+		}
+		visit(a, b-a, nil, m.fills[fi].W)
+		a = b
+	}
 }
 
 // AllocatedPages reports how many pages have materialized (observability

@@ -47,6 +47,7 @@ type Stack struct {
 }
 
 type pseudoChannel struct {
+	pc      int
 	mu      sync.Mutex
 	mem     *pagedMemory
 	sampler *faults.Sampler
@@ -54,6 +55,16 @@ type pseudoChannel struct {
 	// built for.
 	samplerV   float64
 	samplerRep uint64
+}
+
+// ensureSampler returns the cached fault sampler for (volts, rep),
+// rebuilding it when the rail state moved. Callers hold ch.mu.
+func (s *Stack) ensureSampler(ch *pseudoChannel, volts float64, rep uint64) *faults.Sampler {
+	if ch.sampler == nil || ch.samplerV != volts || ch.samplerRep != rep {
+		ch.sampler = s.fm.NewBatchSampler(s.id, ch.pc, volts, rep)
+		ch.samplerV, ch.samplerRep = volts, rep
+	}
+	return ch.sampler
 }
 
 // NewStack builds stack id (0 or 1) over the given fault model. The fault
@@ -72,7 +83,7 @@ func NewStack(id int, org Organization, fm *faults.Model) (*Stack, error) {
 	s := &Stack{id: id, org: org, fm: fm, volts: faults.VNom}
 	s.pcs = make([]*pseudoChannel, org.PCsPerStack())
 	for i := range s.pcs {
-		s.pcs[i] = &pseudoChannel{mem: newPagedMemory(org.WordsPerPC)}
+		s.pcs[i] = &pseudoChannel{pc: i, mem: newPagedMemory(org.WordsPerPC)}
 	}
 	return s, nil
 }
@@ -185,20 +196,125 @@ func (s *Stack) ReadWord(pc int, addr uint64) (pattern.Word, error) {
 	defer ch.mu.Unlock()
 	w := ch.mem.Read(addr)
 	s.readOps.Add(1)
-	if ch.sampler == nil || ch.samplerV != volts || ch.samplerRep != rep {
-		ch.sampler = s.fm.NewBatchSampler(s.id, pc, volts, rep)
-		ch.samplerV, ch.samplerRep = volts, rep
-	}
+	s.ensureSampler(ch, volts, rep)
 	if ch.sampler.MightFault() {
-		for _, f := range ch.sampler.WordFaults(addr, nil) {
-			if f.Polarity == faults.StuckAt0 {
-				w = w.SetBit(f.Bit, 0)
-			} else {
-				w = w.SetBit(f.Bit, 1)
-			}
-		}
+		w = faults.Overlay(w, ch.sampler.WordFaults(addr, nil))
 	}
 	return w, nil
+}
+
+// channelRange validates a [start, start+count) window on pc.
+func (s *Stack) channelRange(pc int, start, count uint64) (*pseudoChannel, error) {
+	if pc < 0 || pc >= len(s.pcs) {
+		return nil, fmt.Errorf("hbm: pseudo channel %d out of range", pc)
+	}
+	if start > s.org.WordsPerPC || count > s.org.WordsPerPC-start {
+		return nil, fmt.Errorf("%w: words [%d,%d) of %d", ErrOutOfRange, start, start+count, s.org.WordsPerPC)
+	}
+	return s.pcs[pc], nil
+}
+
+// WriteRange stores pat's words over [start, start+count) of the pseudo
+// channel, taking the channel lock once. Uniform patterns splice the
+// sparse store's fill runs — O(allocated pages + fill runs) regardless
+// of count; address-dependent patterns fall back to word-by-word stores
+// under the single lock.
+func (s *Stack) WriteRange(pc int, start, count uint64, pat pattern.Pattern) error {
+	if _, _, err := s.state(); err != nil {
+		return err
+	}
+	ch, err := s.channelRange(pc, start, count)
+	if err != nil {
+		return err
+	}
+	ch.mu.Lock()
+	if w, ok := pattern.UniformWord(pat); ok {
+		ch.mem.WriteUniform(start, count, w)
+	} else {
+		for a := start; a < start+count; a++ {
+			ch.mem.Write(a, pat.Word(a))
+		}
+	}
+	ch.mu.Unlock()
+	s.writeOps.Add(count)
+	return nil
+}
+
+// ReadRange models reading [start, start+count) without checking the
+// data (bandwidth traffic): it validates the access and counts the
+// words, but skips materializing values nobody observes.
+func (s *Stack) ReadRange(pc int, start, count uint64) error {
+	if _, _, err := s.state(); err != nil {
+		return err
+	}
+	if _, err := s.channelRange(pc, start, count); err != nil {
+		return err
+	}
+	s.readOps.Add(count)
+	return nil
+}
+
+// ReadCheckRange reads [start, start+count) back and compares every
+// word against pat, returning the total flip classification and the
+// number of words with at least one flipped bit. It is the bulk
+// equivalent of ReadWord+Compare per address — the channel lock is taken
+// once, the fault sampler is consulted per fault site instead of per
+// word, and uniform regions are charged O(fault sites), not O(words).
+// On the bit-exact fault path the counts are identical to the per-word
+// loop; in sparse mode they follow the same statistics.
+func (s *Stack) ReadCheckRange(pc int, start, count uint64, pat pattern.Pattern) (pattern.Flips, uint64, error) {
+	volts, rep, err := s.state()
+	if err != nil {
+		return pattern.Flips{}, 0, err
+	}
+	ch, err := s.channelRange(pc, start, count)
+	if err != nil {
+		return pattern.Flips{}, 0, err
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	sampler := s.ensureSampler(ch, volts, rep)
+	s.readOps.Add(count)
+
+	var flips pattern.Flips
+	var faulty uint64
+	uniformPat, uniformOK := pattern.UniformWord(pat)
+	ch.mem.Runs(start, count, func(runStart, runCount uint64, words []pattern.Word, fill pattern.Word) {
+		if uniformOK && words == nil {
+			f, fw := sampler.CheckUniformRange(runStart, runCount, uniformPat, fill)
+			flips.Add(f)
+			faulty += fw
+			return
+		}
+		// Word-by-word fallback: page-backed runs and address-dependent
+		// patterns. Faults still arrive pre-aggregated from the range
+		// enumerator, so clean words cost a compare, not 256 hashes.
+		readAt := func(a uint64) pattern.Word {
+			if words != nil {
+				return words[a-runStart]
+			}
+			return fill
+		}
+		check := func(a uint64, w pattern.Word) {
+			f := pattern.Compare(pat.Word(a), w)
+			if f.Total() > 0 {
+				faulty++
+				flips.Add(f)
+			}
+		}
+		next := runStart
+		sampler.RangeFaultWords(runStart, runCount, func(addr uint64, fs []faults.CellFault) {
+			for a := next; a < addr; a++ {
+				check(a, readAt(a))
+			}
+			check(addr, faults.Overlay(readAt(addr), fs))
+			next = addr + 1
+		})
+		for a := next; a < runStart+runCount; a++ {
+			check(a, readAt(a))
+		}
+	})
+	return flips, faulty, nil
 }
 
 // FillPC resets an entire pseudo channel to the given word, modelling the

@@ -133,6 +133,18 @@ type uniform struct {
 func (u uniform) Word(uint64) Word { return u.w }
 func (u uniform) Name() string     { return u.name }
 
+// UniformWord reports whether p writes the same word at every address,
+// returning that word when it does. Bulk data paths use this to express
+// a whole region as a single fill instead of materializing every word;
+// address-dependent patterns return false and take the word-by-word
+// fallback.
+func UniformWord(p Pattern) (Word, bool) {
+	if u, ok := p.(uniform); ok {
+		return u.w, true
+	}
+	return Word{}, false
+}
+
 // AllOnes is the paper's 1-to-0 flip probe: every bit written as 1.
 func AllOnes() Pattern { return uniform{AllOnesWord, "all1"} }
 

@@ -81,6 +81,11 @@ type Config struct {
 	NoiseSigma float64
 	// SwitchEnabled turns the AXI switching network on.
 	SwitchEnabled bool
+	// SparseFaults selects the fault model's sparse enumeration mode,
+	// making full-capacity Monte-Carlo traffic cost O(#faults) instead
+	// of O(bits scanned). The default (false) keeps the bit-exact
+	// per-cell fault map.
+	SparseFaults bool
 }
 
 // System is a live simulated platform plus the characterization
@@ -106,6 +111,7 @@ func New(cfg Config) (*System, error) {
 		Temperature:   cfg.TemperatureC,
 		NoiseSigma:    cfg.NoiseSigma,
 		SwitchEnabled: cfg.SwitchEnabled,
+		SparseFaults:  cfg.SparseFaults,
 	})
 	if err != nil {
 		return nil, err
