@@ -10,6 +10,7 @@ package hbmvolt
 // next to the timing. EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -197,6 +198,59 @@ func BenchmarkAlgorithm1FullPC(b *testing.B) {
 			b.ReportMetric(float64(2*words)*float64(b.N)/b.Elapsed().Seconds(), "words/sec")
 			b.ReportMetric(float64(st.Flips.Total()), "flips")
 		})
+	}
+}
+
+// BenchmarkReliabilitySweep measures the full-grid Algorithm 1 sweep
+// (1.20V→0.81V, both patterns, every port, sparse sampler) under the
+// sweep scheduler at increasing board-fleet sizes. Results are
+// bit-identical at every worker count (pinned by the determinism test
+// suite); only wall clock changes, so points/sec across the j=N
+// sub-benchmarks is the scaling curve. CI emits these lines as
+// BENCH_sweep.json so the perf trajectory is tracked per commit.
+func BenchmarkReliabilitySweep(b *testing.B) {
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			sys := MustNew(Config{Scale: 8, SparseFaults: true})
+			cfg := ReliabilityConfig{BatchSize: 2, Workers: j}
+			b.ResetTimer()
+			var res *ReliabilityResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sys.RunReliability(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(res.Points))*float64(b.N)/b.Elapsed().Seconds(), "points/sec")
+			b.ReportMetric(float64(j), "workers")
+		})
+	}
+}
+
+// BenchmarkFigureSuiteAtlas regenerates every analytic figure twice per
+// iteration against one system: the second pass is served entirely from
+// the memoized rate atlas, so the per-iteration time (after the first)
+// is the marginal cost of rendering, not of recomputing expectations.
+func BenchmarkFigureSuiteAtlas(b *testing.B) {
+	sys := MustNew(Config{})
+	render := func() {
+		if _, err := sys.RenderFig4(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.RenderFig5(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if err := sys.RenderFig6(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.RenderCapacityStudy(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		render()
+		render()
 	}
 }
 

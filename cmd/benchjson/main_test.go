@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: hbmvolt
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkReliabilitySweep/j=1         	       1	1932172936 ns/op	        20.70 points/sec	         1.000 workers
+BenchmarkReliabilitySweep/j=8-4       	       2	 486000000 ns/op	        82.30 points/sec	         8.000 workers
+some unrelated chatter
+PASS
+ok  	hbmvolt	7.768s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "hbmvolt" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkReliabilitySweep/j=8-4" || b.Runs != 2 {
+		t.Fatalf("record: %+v", b)
+	}
+	if b.Metrics["points/sec"] != 82.30 || b.Metrics["workers"] != 8 {
+		t.Fatalf("metrics: %+v", b.Metrics)
+	}
+	if !strings.HasPrefix(b.Raw, "BenchmarkReliabilitySweep/j=8-4") {
+		t.Fatalf("raw line lost: %q", b.Raw)
+	}
+}
+
+func TestParseLineRejectsMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkOnly",
+		"BenchmarkOdd 1 100",
+		"BenchmarkBadRuns x 100 ns/op",
+		"BenchmarkBadValue 1 abc ns/op",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Errorf("accepted malformed line %q", line)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"hbmvolt"
@@ -46,6 +47,7 @@ var (
 	flagBatch = flag.Int("batch", 5, "reliability: batch size (paper uses 130)")
 	flagVolts = flag.Float64("volts", 0, "reliability: single test voltage (0 = full 1.20V→0.81V sweep)")
 	flagExact = flag.Bool("exact", false, "bit-exact per-cell fault sampling instead of sparse enumeration (slow at full scale; pair with -scale)")
+	flagJ     = flag.Int("j", runtime.GOMAXPROCS(0), "reliability: sweep workers — voltage points are sharded across this many board clones; results are bit-identical at any count (1 = sequential)")
 )
 
 func main() {
@@ -187,7 +189,10 @@ func gridAround(hi, lo float64) []float64 {
 
 func runReliability(sys *hbmvolt.System) error {
 	// The default is the paper's whole-HBM methodology: every word of
-	// every pseudo channel, across the full voltage ladder.
+	// every pseudo channel, across the full voltage ladder. The sweep is
+	// sharded across -j board-fleet workers; with one worker the ports
+	// within each point run concurrently instead (both modes produce
+	// identical results — see the sweep scheduler's determinism tests).
 	var grid []float64
 	where := "1.20V→0.81V sweep"
 	if *flagVolts != 0 {
@@ -197,13 +202,18 @@ func runReliability(sys *hbmvolt.System) error {
 	res, err := sys.RunReliability(hbmvolt.ReliabilityConfig{
 		Grid:      grid,
 		BatchSize: *flagBatch,
-		Parallel:  true,
+		Workers:   *flagJ,
+		// Port-level parallelism takes over where point-level sharding
+		// cannot: a single worker, or a single-voltage run whose one grid
+		// point would otherwise pin one core.
+		Parallel:  *flagJ <= 1 || *flagVolts != 0,
+		OnPoint:   progressLine(),
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Algorithm 1, %s (batch %d, margin ±%.1f%% @90%%):\n",
-		where, *flagBatch, res.Margin*100)
+	fmt.Printf("Algorithm 1, %s (batch %d, margin ±%.1f%% @90%%, %d sweep workers):\n",
+		where, *flagBatch, res.Margin*100, *flagJ)
 	tbl := report.NewTable("volts", "port", "pattern", "mean flips", "bit fault rate", "ci low", "ci high")
 	for _, pt := range res.Points {
 		if pt.Crashed {
@@ -231,6 +241,22 @@ func runReliability(sys *hbmvolt.System) error {
 	}
 	_, err = tbl.WriteTo(os.Stdout)
 	return err
+}
+
+// progressLine returns a sweep progress callback that keeps one status
+// line updated on stderr, leaving stdout to the result tables (so
+// redirected output stays clean and -j equality is byte-exact).
+func progressLine() func(hbmvolt.SweepProgress) {
+	return func(p hbmvolt.SweepProgress) {
+		state := "ok"
+		if p.Crashed {
+			state = "CRASH"
+		}
+		fmt.Fprintf(os.Stderr, "\rreliability: %d/%d points (%.2fV %s)   ", p.Done, p.Total, p.Volts, state)
+		if p.Done == p.Total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 }
 
 func runTradeoff(sys *hbmvolt.System) error {

@@ -64,6 +64,62 @@ func TestReliabilityFullSweep(t *testing.T) {
 	}
 }
 
+// captureStdout runs fn with os.Stdout redirected to a temp file and
+// returns everything fn wrote to it.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "stdout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	old := os.Stdout
+	os.Stdout = f
+	ferr := fn()
+	os.Stdout = old
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestReliabilityWorkerCountEquality pins the -j contract: the sharded
+// sweep's stdout (tables included) is byte-identical at every worker
+// count — the progress line goes to stderr precisely so this holds.
+func TestReliabilityWorkerCountEquality(t *testing.T) {
+	setFlag(t, flagScale, 1024)
+	setFlag(t, flagNoise, 0)
+	setFlag(t, flagBatch, 2)
+	setFlag(t, flagVolts, 0) // full 1.20V→0.81V sweep
+	run1 := func() string {
+		setFlag(t, flagJ, 1)
+		return captureStdout(t, func() error { return run("reliability") })
+	}
+	runN := func(j int) string {
+		setFlag(t, flagJ, j)
+		return captureStdout(t, func() error { return run("reliability") })
+	}
+	want := run1()
+	if !strings.Contains(want, "Algorithm 1") {
+		t.Fatalf("unexpected output: %.80s", want)
+	}
+	for _, j := range []int{2, 8} {
+		got := runN(j)
+		// The header names the worker count; everything below it — every
+		// table row — must match byte for byte.
+		wantBody := want[strings.Index(want, ":\n"):]
+		gotBody := got[strings.Index(got, ":\n"):]
+		if gotBody != wantBody {
+			t.Fatalf("-j %d output differs from -j 1:\n--- j=1 ---\n%s\n--- j=%d ---\n%s",
+				j, wantBody, j, gotBody)
+		}
+	}
+}
+
 // TestReliabilityExactMode covers the -exact escape hatch.
 func TestReliabilityExactMode(t *testing.T) {
 	silenceStdout(t)

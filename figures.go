@@ -14,6 +14,9 @@ import (
 // table/plot, computed from this module's models, to w. The CLI
 // (cmd/hbmvolt) and the benchmark harness (bench_test.go) both call
 // these, so "regenerate figure N" is one function call everywhere.
+// Analytic figures share the memoized rate atlas (internal/faults), so
+// rendering the suite — or re-rendering one figure — computes each
+// (voltage, flip-kind) grid point once per process, not once per figure.
 
 // fig2PortCounts are the bandwidth operating points of Fig. 2/3: 0, 25,
 // 50, 75, 100% utilization.

@@ -56,6 +56,8 @@ type Config struct {
 
 // Board is the assembled platform.
 type Board struct {
+	cfg Config
+
 	Org    hbm.Organization
 	Faults *faults.Model
 	Device *hbm.Device
@@ -110,7 +112,7 @@ func New(cfg Config) (*Board, error) {
 		return nil, err
 	}
 
-	b := &Board{Org: org, Faults: fm, Device: dev, Power: pm}
+	b := &Board{cfg: cfg, Org: org, Faults: fm, Device: dev, Power: pm}
 
 	b.Regulator = pmbus.NewISL68301(pmbus.ISLConfig{
 		OnVout:   dev.SetVoltage,
@@ -167,6 +169,24 @@ func MustNew(cfg Config) *Board {
 		panic(err)
 	}
 	return b
+}
+
+// Config returns the (default-filled) configuration the board was built
+// from.
+func (b *Board) Config() Config { return b.cfg }
+
+// Clone builds an independent board of the same configuration: same
+// seed, scale, temperature and fault realization, but fresh electrical
+// and memory state (contents zeroed, regulator at nominal, counters
+// reset). The fault model draws are pure functions of the seeded
+// configuration, so a clone observes exactly the faults the original
+// does at every (voltage, rep) — which is what lets a sweep scheduler
+// fan one logical device out across a fleet of clones and still produce
+// bit-identical results. Cloned models with equal fingerprints share the
+// memoized analytic rate atlas, so a fleet costs no redundant analytic
+// work.
+func (b *Board) Clone() (*Board, error) {
+	return New(b.cfg)
 }
 
 // railAmps models the rail's current draw at voltage v given how many

@@ -30,7 +30,10 @@ type CapacityStudy struct {
 	TotalBytes float64
 }
 
-// RunCapacityStudy evaluates both granularities across the grid.
+// RunCapacityStudy evaluates both granularities across the grid. The
+// whole-PC exclusion side is served from the memoized rate atlas (shared
+// with Fig. 4-6 over the same grid); the row-granular side needs the
+// two-region decomposition, which is recomputed per call.
 func RunCapacityStudy(fm *faults.Model, grid []float64) (*CapacityStudy, error) {
 	if fm == nil {
 		return nil, errors.New("core: fault model is nil")

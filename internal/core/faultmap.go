@@ -15,7 +15,9 @@ var Fig6Tolerances = []float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
 
 // FaultMap is the per-PC × voltage fault atlas of §III-C: the practical
 // information an application developer needs to trade power against
-// capacity and fault rate.
+// capacity and fault rate. Every rate it serves comes from the model's
+// memoized rate atlas, so repeated queries (plans, Fig. 6 series, CLI
+// lookups) over one grid cost one analytic pass.
 type FaultMap struct {
 	model *faults.Model
 	pm    *power.Model

@@ -15,7 +15,9 @@ type StackCurve struct {
 }
 
 // Fig4Curves computes the per-stack fault-fraction curves analytically
-// over the full-capacity device.
+// over the full-capacity device. Grid points are served from the
+// memoized rate atlas, so figures sharing a grid (Fig. 5, Fig. 6, the
+// capacity study) never recompute each other's expectations.
 func Fig4Curves(fm *faults.Model, grid []float64) ([]StackCurve, error) {
 	if fm == nil {
 		return nil, errors.New("core: fault model is nil")
@@ -101,8 +103,8 @@ func BuildFig5Table(fm *faults.Model, grid []float64, kind faults.FlipKind) (*Fi
 	bits := fm.Geometry().BitsPerPC()
 	for _, v := range grid {
 		var row [faults.NumPCs]Fig5Cell
-		for g := 0; g < faults.NumPCs; g++ {
-			rate := fm.CellRate(g/faults.PCsPerStack, g%faults.PCsPerStack, v, kind)
+		rates := fm.RateVector(v, kind)
+		for g, rate := range rates {
 			row[g] = Fig5Cell{
 				Percent: rate * 100,
 				NF:      rate*bits < 0.5,
@@ -122,8 +124,8 @@ func SensitiveSeparation(fm *faults.Model, v float64) float64 {
 		sens[g] = true
 	}
 	minSens, maxOther := -1.0, 0.0
-	for g := 0; g < faults.NumPCs; g++ {
-		r := fm.CellRate(g/faults.PCsPerStack, g%faults.PCsPerStack, v, faults.AnyFlip)
+	rates := fm.RateVector(v, faults.AnyFlip)
+	for g, r := range rates {
 		if sens[g] {
 			if minSens < 0 || r < minSens {
 				minSens = r

@@ -33,7 +33,9 @@ var DefaultTemps = []float64{25, 30, 35, 40, 45, 50, 55}
 
 // RunTempStudy evaluates guardband and fault-rate landmarks across
 // temperatures, holding the device instance (seed, variation profile)
-// fixed.
+// fixed. Each temperature builds its own model, but models fingerprint
+// into the process-wide rate atlas, so repeated studies (benchmarks, the
+// CLI's `all` command) reuse every previously computed grid point.
 func RunTempStudy(base faults.Config, temps []float64) (*TempStudy, error) {
 	if temps == nil {
 		temps = DefaultTemps

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -37,6 +38,17 @@ type ReliabilityConfig struct {
 	// are identical to sequential execution (ports are independent and
 	// the fault model is deterministic); only wall time changes.
 	Parallel bool
+	// Workers shards the sweep's voltage points across a fleet of board
+	// clones (see SweepScheduler). 0 or 1 runs the classic sequential
+	// sweep on Board; larger values distribute grid points over that many
+	// workers, each driving its own clone of Board. Results are
+	// bit-identical at every worker count; only wall time changes.
+	Workers int
+	// OnPoint, when non-nil, is invoked after each completed voltage
+	// point with monotone progress counters. Under a sharded sweep the
+	// callback is serialized but arrives in completion order, not grid
+	// order.
+	OnPoint ProgressFunc
 }
 
 func (c *ReliabilityConfig) fill() error {
@@ -125,59 +137,91 @@ func (r *ReliabilityResult) Point(v float64) *VoltagePoint {
 // down), repeat batchSize times {reset ports; write pattern; read back
 // and count mismatches}, for every configured pattern and port. A crash
 // (voltage below V_critical) is recorded and the board power-cycled, as
-// the paper's procedure requires.
+// the paper's procedure requires. With cfg.Workers > 1 the grid is
+// sharded across a board fleet (see SweepScheduler); results are
+// bit-identical either way. Every exit — success, mid-sweep error, or
+// cancellation — leaves the board back at nominal voltage.
 func RunReliability(cfg ReliabilityConfig) (*ReliabilityResult, error) {
-	if err := cfg.fill(); err != nil {
-		return nil, err
+	return RunReliabilitySweep(context.Background(), cfg)
+}
+
+// RunReliabilitySweep is RunReliability with context cancellation: a
+// cancelled ctx stops the sweep between voltage points and returns
+// ctx.Err().
+func RunReliabilitySweep(ctx context.Context, cfg ReliabilityConfig) (*ReliabilityResult, error) {
+	sch := &SweepScheduler{Workers: max(cfg.Workers, 1), OnProgress: cfg.OnPoint}
+	return sch.RunReliability(ctx, cfg)
+}
+
+// restoreNominal re-programs the board to V_nom, joining a restore
+// failure into err unless an earlier error already explains the exit.
+// Deferred by every sweep path so no exit leaves the board undervolted.
+func restoreNominal(b *board.Board, err *error) {
+	if rerr := b.SetHBMVoltage(faults.VNom); rerr != nil && *err == nil {
+		*err = fmt.Errorf("core: restoring nominal voltage: %w", rerr)
 	}
+}
+
+// runSequential is the single-board reference path: grid points visited
+// in order on one board. The sharded scheduler must match its output
+// bit for bit.
+func runSequential(ctx context.Context, cfg *ReliabilityConfig, res *ReliabilityResult, prog *progressTracker) (err error) {
 	b := cfg.Board
-	margin, err := stats.MarginOfError(cfg.BatchSize, DefaultConfidence)
-	if err != nil {
-		return nil, err
+	defer restoreNominal(b, &err)
+	for i, v := range cfg.Grid {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		pt, err := runVoltagePoint(b, cfg, v)
+		if err != nil {
+			return err
+		}
+		res.Points[i] = pt
+		prog.completed(pt)
 	}
-	res := &ReliabilityResult{Margin: margin}
+	return nil
+}
 
-	for _, v := range cfg.Grid {
-		if err := b.SetHBMVoltage(v); err != nil {
-			return nil, fmt.Errorf("core: setting %vV: %w", v, err)
+// runVoltagePoint executes one full Algorithm 1 step at voltage v on b:
+// program the rail, record and recover a crash, otherwise run every
+// configured pattern over every port for the whole batch. The outcome is
+// a pure function of (voltage, pattern set, port set, batch size) and
+// the board's seeded configuration — it depends neither on which board
+// of a fleet evaluates it nor on which points ran before, which is the
+// invariant that makes sharded sweeps bit-identical to sequential ones.
+func runVoltagePoint(b *board.Board, cfg *ReliabilityConfig, v float64) (VoltagePoint, error) {
+	if err := b.SetHBMVoltage(v); err != nil {
+		return VoltagePoint{}, fmt.Errorf("core: setting %vV: %w", v, err)
+	}
+	pt := VoltagePoint{Volts: v}
+	if b.Crashed() {
+		// Below V_critical the stacks stop responding; restoring the
+		// voltage does not help — power cycle and move on.
+		pt.Crashed = true
+		if err := b.PowerCycle(); err != nil {
+			return VoltagePoint{}, err
 		}
-		pt := VoltagePoint{Volts: v}
-		if b.Crashed() {
-			// Below V_critical the stacks stop responding; restoring the
-			// voltage does not help — power cycle and move on.
-			pt.Crashed = true
-			res.Points = append(res.Points, pt)
-			if err := b.PowerCycle(); err != nil {
-				return nil, err
-			}
-			continue
-		}
-
-		for _, pat := range cfg.Patterns {
-			observations, err := runPorts(b, cfg.Ports, pat, cfg.WordsPerPort, cfg.BatchSize, cfg.Parallel)
-			if err != nil {
-				return nil, fmt.Errorf("core: pattern %s at %vV: %w", pat.Name(), v, err)
-			}
-			for _, obs := range observations {
-				pt.Observations = append(pt.Observations, obs)
-				pt.MeanFlips += obs.MeanFlips
-				pt.BitsChecked += float64(obs.WordsPerRun) * pattern.WordBits
-				switch pat.Name() {
-				case "all1":
-					pt.Flips10 += obs.MeanFlips
-				case "all0":
-					pt.Flips01 += obs.MeanFlips
-				}
-			}
-		}
-		res.Points = append(res.Points, pt)
+		return pt, nil
 	}
 
-	// Leave the board at nominal conditions.
-	if err := b.SetHBMVoltage(faults.VNom); err != nil {
-		return nil, err
+	for _, pat := range cfg.Patterns {
+		observations, err := runPorts(b, cfg.Ports, pat, cfg.WordsPerPort, cfg.BatchSize, cfg.Parallel)
+		if err != nil {
+			return VoltagePoint{}, fmt.Errorf("core: pattern %s at %vV: %w", pat.Name(), v, err)
+		}
+		for _, obs := range observations {
+			pt.Observations = append(pt.Observations, obs)
+			pt.MeanFlips += obs.MeanFlips
+			pt.BitsChecked += float64(obs.WordsPerRun) * pattern.WordBits
+			switch pat.Name() {
+			case "all1":
+				pt.Flips10 += obs.MeanFlips
+			case "all0":
+				pt.Flips01 += obs.MeanFlips
+			}
+		}
 	}
-	return res, nil
+	return pt, nil
 }
 
 // runPorts runs the batched fill/check of Algorithm 1 on the given

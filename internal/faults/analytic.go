@@ -55,11 +55,10 @@ func (m *Model) regionRate(idx int, v float64, inCluster bool, kind FlipKind) fl
 }
 
 // CellRate returns the expected fraction of faulty cells of the given
-// flip class in pseudo channel (stack, pc) at voltage v.
+// flip class in pseudo channel (stack, pc) at voltage v, served from the
+// memoized rate atlas (atlas.go).
 func (m *Model) CellRate(stack, pc int, v float64, kind FlipKind) float64 {
-	idx := pcIndex(stack, pc)
-	cov := m.coverage[idx]
-	return cov*m.regionRate(idx, v, true, kind) + (1-cov)*m.regionRate(idx, v, false, kind)
+	return m.rates(v, kind).pcs[pcIndex(stack, pc)]
 }
 
 // RegionRates exposes the two-region decomposition of a PC's fault rate:
@@ -125,25 +124,20 @@ func (m *Model) ExpectedPCFaults(stack, pc int, v float64, kind FlipKind) float6
 }
 
 // StackFaultFraction returns the expected fraction of faulty cells over
-// an entire stack (the quantity of Fig. 4).
+// an entire stack (the quantity of Fig. 4), served from the memoized
+// rate atlas.
 func (m *Model) StackFaultFraction(stack int, v float64, kind FlipKind) float64 {
-	sum := 0.0
-	for pc := 0; pc < PCsPerStack; pc++ {
-		sum += m.CellRate(stack, pc, v, kind)
-	}
-	return sum / PCsPerStack
+	return m.rates(v, kind).stacks[stack]
 }
 
 // GlobalStuckFraction returns the device-wide fraction of stuck cells
 // (both polarities). This is the quantity that derates active
 // capacitance in the power model (Fig. 3): stuck cells no longer
-// charge/discharge, so α·C_L drops by exactly this fraction.
+// charge/discharge, so α·C_L drops by exactly this fraction. The power
+// model evaluates it once per INA226 sample, so it is served from the
+// memoized rate atlas.
 func (m *Model) GlobalStuckFraction(v float64) float64 {
-	sum := 0.0
-	for s := 0; s < NumStacks; s++ {
-		sum += m.StackFaultFraction(s, v, AnyFlip)
-	}
-	return sum / NumStacks
+	return m.rates(v, AnyFlip).global
 }
 
 // PCFaultFree reports whether pseudo channel (stack, pc) is expected to

@@ -1,0 +1,22 @@
+package faults
+
+import "testing"
+
+// BenchmarkGlobalStuckFraction compares the memoized analytic kernel
+// against the direct survival-function computation it caches. The power
+// model calls this once per INA226 sample, so the gap is what the rate
+// atlas buys every power sweep and figure regeneration.
+func BenchmarkGlobalStuckFraction(b *testing.B) {
+	m := MustNew(DefaultConfig())
+	grid := PaperGrid()
+	b.Run("memoized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.GlobalStuckFraction(grid[i%len(grid)])
+		}
+	})
+	b.Run("direct", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.computeRates(grid[i%len(grid)], AnyFlip)
+		}
+	})
+}

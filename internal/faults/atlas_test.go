@@ -1,0 +1,98 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestAtlasMatchesDirect: the memoized rates must equal the direct
+// survival-function computation exactly — memoization is a cache, never
+// an approximation.
+func TestAtlasMatchesDirect(t *testing.T) {
+	m := MustNew(DefaultConfig())
+	for _, v := range PaperGrid() {
+		for _, kind := range []FlipKind{AnyFlip, OneToZero, ZeroToOne} {
+			direct := m.computeRates(v, kind)
+			for s := 0; s < NumStacks; s++ {
+				for pc := 0; pc < PCsPerStack; pc++ {
+					if got := m.CellRate(s, pc, v, kind); got != direct.pcs[pcIndex(s, pc)] {
+						t.Fatalf("CellRate(%d,%d,%v,%v) = %v, direct %v",
+							s, pc, v, kind, got, direct.pcs[pcIndex(s, pc)])
+					}
+				}
+				if got := m.StackFaultFraction(s, v, kind); got != direct.stacks[s] {
+					t.Fatalf("StackFaultFraction(%d,%v,%v) mismatch", s, v, kind)
+				}
+			}
+		}
+		if got := m.GlobalStuckFraction(v); got != m.computeRates(v, AnyFlip).global {
+			t.Fatalf("GlobalStuckFraction(%v) mismatch", v)
+		}
+	}
+}
+
+// TestAtlasSharing: equal (default-filled) configs fingerprint to one
+// shared atlas — including the sparse/exact twins, whose analytic rates
+// are identical — while any rate-relevant difference separates them.
+func TestAtlasSharing(t *testing.T) {
+	base := MustNew(DefaultConfig())
+	same := MustNew(DefaultConfig())
+	if base.atlas != same.atlas {
+		t.Fatal("identical configs did not share an atlas")
+	}
+	sparse := DefaultConfig()
+	sparse.SparseEnumeration = true
+	if MustNew(sparse).atlas != base.atlas {
+		t.Fatal("sparse twin did not share the exact model's atlas")
+	}
+	seeded := DefaultConfig()
+	seeded.Seed = 99
+	if MustNew(seeded).atlas == base.atlas {
+		t.Fatal("different seed shared an atlas")
+	}
+	hot := DefaultConfig()
+	hot.Temperature = 55
+	if MustNew(hot).atlas == base.atlas {
+		t.Fatal("different temperature shared an atlas")
+	}
+	prof := DefaultConfig()
+	prof.Profiles[7].WeakMult *= 2
+	if MustNew(prof).atlas == base.atlas {
+		t.Fatal("different profile shared an atlas")
+	}
+	scaled := DefaultConfig()
+	scaled.Geometry = Geometry{WordsPerPC: 8 << 10, WordsPerRow: 32}
+	if MustNew(scaled).atlas == base.atlas {
+		t.Fatal("different geometry shared an atlas")
+	}
+}
+
+// TestAtlasConcurrent hammers one atlas from many goroutines over a
+// fresh (uncached) voltage set; every reader must observe the exact
+// direct value. Run under -race this also proves the locking.
+func TestAtlasConcurrent(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 424242 // fresh fingerprint: the cache starts cold
+	m := MustNew(cfg)
+	grid := VoltageGrid(1.10, 0.82)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, v := range grid {
+				want := m.computeRates(v, AnyFlip).global
+				if got := m.GlobalStuckFraction(v); got != want {
+					errs <- "concurrent read mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -84,9 +84,9 @@ type Config struct {
 	Profiles [NumPCs]PCProfile
 	// SparseEnumeration switches samplers from the bit-exact per-cell
 	// draw to the sparse O(#faults) enumeration: per-row fault counts and
-	// positions are drawn directly (keyed on seed, PC and row), so range
-	// scans cost proportional to the faults they contain instead of the
-	// bits they cover. The two modes realize different (but statistically
+	// positions are drawn directly (keyed on seed, PC, row, batch rep and
+	// voltage), so range scans cost proportional to the faults they
+	// contain instead of the bits they cover. The two modes realize different (but statistically
 	// identical) devices; sampling tests assert both agree with the
 	// analytic expectations within Poisson bounds. Leave false for
 	// bit-reproducible per-cell fault maps.
@@ -120,6 +120,9 @@ type Model struct {
 	tempWeak   float64 // multiplicative temperature factor on weak survival
 	bulkMuT    float64 // temperature-adjusted bulk knee
 	weakVcMaxT float64 // temperature-adjusted weak truncation point
+	// atlas memoizes the analytic rates, shared process-wide among models
+	// with the same config fingerprint (see atlas.go).
+	atlas *rateAtlas
 }
 
 // New builds a Model from cfg, filling zero-valued profile fields with
@@ -168,6 +171,7 @@ func New(cfg Config) (*Model, error) {
 		m.clusters[i] = buildClusters(cfg.Seed, i/PCsPerStack, i%PCsPerStack, rows, p.ClusterFraction, p.ClusterCount)
 		m.coverage[i] = m.clusters[i].coverage(rows)
 	}
+	m.atlas = atlasFor(m.cfg.Fingerprint())
 	return m, nil
 }
 
@@ -295,6 +299,13 @@ type Sampler struct {
 	seed        uint64
 	wordsPerRow uint64
 	v           float64
+	// vbits keys the sparse-mode draws on the sampled voltage (exact bit
+	// pattern; grid builders produce identical float64s for equal grid
+	// points), so every draw site is a pure function of
+	// (seed, PC, row/segment, rep, voltage) and evaluation order — in
+	// particular the order a sharded sweep visits voltage points — can
+	// never change a realization.
+	vbits uint64
 	// thresholds (scaled to uint64) for cells outside / inside clusters
 	outStuck, outTail uint64
 	inStuck, inTail   uint64
@@ -347,6 +358,7 @@ func (m *Model) newSampler(stack, pc int, v float64, jitter bool, rep uint64) *S
 		seed:        m.cfg.Seed,
 		wordsPerRow: m.cfg.Geometry.WordsPerRow,
 		v:           v,
+		vbits:       math.Float64bits(v),
 		outStuck:    scale64(sOut),
 		outTail:     scale64(tOut),
 		inStuck:     scale64(sIn),

@@ -2,13 +2,21 @@ package faults
 
 // Sparse fault enumeration: instead of drawing every cell's critical
 // voltage (256 hashes per word), this mode draws each row's fault count
-// and fault positions directly, keyed on (seed, PC, row, rep). Range
-// scans then cost O(#faults touched) rather than O(bits scanned), which
-// is what makes whole-HBM Algorithm 1 sweeps at the paper's full memSize
-// tractable. Above a per-segment expected-fault threshold even the
-// positions stop mattering for uniform-pattern checks, and the flip
+// and fault positions directly, keyed on (seed, PC, row, rep, voltage).
+// Range scans then cost O(#faults touched) rather than O(bits scanned),
+// which is what makes whole-HBM Algorithm 1 sweeps at the paper's full
+// memSize tractable. Above a per-segment expected-fault threshold even
+// the positions stop mattering for uniform-pattern checks, and the flip
 // counters are drawn in aggregate from the same binomial statistics the
-// analytic path integrates.
+// analytic path integrates (keyed additionally on the expected/stored
+// word pair, so the two pattern tests draw independent measurement
+// noise).
+//
+// Every draw here is a pure function of its key — there is no stream
+// shared across voltages, patterns or pseudo channels — which is the
+// property that lets the sweep scheduler shard voltage points across a
+// board fleet and still produce bit-identical results at any worker
+// count.
 //
 // The sparse device is a different realization than the bit-exact one
 // (and, unlike it, re-rolls whole rows across batch reps rather than
@@ -103,14 +111,16 @@ func (s *Sampler) sparseRange(start, count uint64, visit func(addr uint64, f Cel
 
 // sparseRowFaults draws row's fault count and positions and yields the
 // faults whose word address falls in [lo, hi). The draws depend only on
-// (seed, PC, row, rep), never on the query window, so overlapping range
-// scans observe one consistent device.
+// (seed, PC, row, rep, voltage), never on the query window or on any
+// previously evaluated voltage point, so overlapping range scans — and
+// sweeps sharded across a board fleet in any order — observe one
+// consistent device.
 func (s *Sampler) sparseRowFaults(row, lo, hi uint64, p, t float64, visit func(addr uint64, f CellFault)) {
 	if lo >= hi || p <= 0 {
 		return
 	}
 	nBits := int(s.wordsPerRow) * 256
-	src := prf.NewSource(prf.Hash5(s.seed^saltSparse, uint64(s.idx), row, s.rep, 0))
+	src := prf.NewSource(prf.Hash5(s.seed^saltSparse, uint64(s.idx), row, s.rep, s.vbits))
 	k := binomialDraw(src, nBits, p)
 	if k == 0 {
 		return
@@ -273,7 +283,8 @@ func (s *Sampler) checkSegment(lo, hi uint64, in bool, expected, stored pattern.
 	n00 := 256 - n11 - n10 - n01
 	fn := float64(n)
 
-	src := prf.NewSource(prf.Hash5(s.seed^saltAggregate, uint64(s.idx), lo, s.rep, 0))
+	src := prf.NewSource(prf.Hash5(s.seed^saltAggregate, uint64(s.idx), lo, s.rep,
+		s.vbits^wordPairSig(expected, stored)))
 	mean10 := fn * (float64(n11)*p0 + float64(n10)*(1-p1))
 	var10 := fn * (float64(n11)*p0*(1-p0) + float64(n10)*(1-p1)*p1)
 	d10 := gaussCount(src, mean10, var10, n*uint64(n11+n10))
@@ -321,6 +332,14 @@ func (s *Sampler) checkSegment(lo, hi uint64, in bool, expected, stored pattern.
 	} else {
 		*faulty += fw
 	}
+}
+
+// wordPairSig folds an (expected, stored) word pair into one key word,
+// so aggregate draws for different patterns at the same segment are
+// independent rather than sharing one stream.
+func wordPairSig(expected, stored pattern.Word) uint64 {
+	return prf.Hash4(expected[0], expected[1], expected[2], expected[3]) ^
+		prf.Mix64(prf.Hash4(stored[0], stored[1], stored[2], stored[3]))
 }
 
 // gaussCount draws a normal-approximated count with the given mean and

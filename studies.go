@@ -13,7 +13,10 @@ import (
 // Extension studies beyond the paper's figures: temperature
 // sensitivity, row-granular capacity recovery, and workload bandwidth
 // characterization. Each has a Run method returning data and a Render
-// method writing a table.
+// method writing a table. The analytic studies route through the
+// memoized rate atlas (internal/faults), so re-running them — or
+// running them after the figures — reuses every grid point already
+// computed for this device realization.
 
 // TempStudy re-exports the temperature sweep result.
 type TempStudy = core.TempStudy

@@ -20,6 +20,8 @@
 package hbmvolt
 
 import (
+	"context"
+
 	"hbmvolt/internal/board"
 	"hbmvolt/internal/core"
 	"hbmvolt/internal/faults"
@@ -42,6 +44,10 @@ type (
 	PowerSweepResult = core.PowerSweepResult
 	// PowerSweepConfig parameterizes the power sweep.
 	PowerSweepConfig = core.PowerSweepConfig
+	// SweepScheduler shards reliability sweeps across a board fleet.
+	SweepScheduler = core.SweepScheduler
+	// SweepProgress reports one completed voltage point of a sweep.
+	SweepProgress = core.SweepProgress
 	// ECCStudy is the SEC-DED mitigation analysis.
 	ECCStudy = core.ECCStudy
 	// FaultMap is the per-PC fault atlas.
@@ -86,6 +92,12 @@ type Config struct {
 	// of O(bits scanned). The default (false) keeps the bit-exact
 	// per-cell fault map.
 	SparseFaults bool
+	// SweepWorkers is the default board-fleet size for reliability
+	// sweeps: voltage points are sharded across this many independently
+	// instantiated clones of the board (results are bit-identical at any
+	// worker count). 0 or 1 keeps sweeps sequential; a per-call
+	// ReliabilityConfig.Workers overrides it.
+	SweepWorkers int
 }
 
 // System is a live simulated platform plus the characterization
@@ -98,9 +110,14 @@ type System struct {
 	// atlas is a full-capacity fault model with the same seed and
 	// temperature as the board. Figures, usable-PC counts and plans
 	// always describe the real 8 GB device, even when the board runs at
-	// a reduced Scale for cheap Monte-Carlo work.
+	// a reduced Scale for cheap Monte-Carlo work. Its analytic rates are
+	// memoized in a process-wide atlas shared by every model with the
+	// same config fingerprint, so figures over one grid never recompute
+	// each other's expectations.
 	atlas *faults.Model
 	fmap  *core.FaultMap
+	// sweepWorkers is the configured default fleet size for sweeps.
+	sweepWorkers int
 }
 
 // New builds a system.
@@ -126,7 +143,7 @@ func New(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &System{Board: b, atlas: atlas, fmap: fmap}, nil
+	return &System{Board: b, atlas: atlas, fmap: fmap, sweepWorkers: cfg.SweepWorkers}, nil
 }
 
 // MustNew is New but panics on error.
@@ -187,10 +204,22 @@ func (s *System) MeasureGuardband(wordsPerPort uint64, grid []float64) (Guardban
 	return core.MeasureGuardband(s.Board, wordsPerPort, grid)
 }
 
-// RunReliability executes Algorithm 1 with this system's board.
+// RunReliability executes Algorithm 1 with this system's board. When
+// the config (or the system's SweepWorkers default) asks for more than
+// one worker, the voltage grid is sharded across a fleet of board
+// clones; results are bit-identical to the sequential sweep.
 func (s *System) RunReliability(cfg ReliabilityConfig) (*ReliabilityResult, error) {
+	return s.RunReliabilitySweep(context.Background(), cfg)
+}
+
+// RunReliabilitySweep is RunReliability with context cancellation: a
+// cancelled ctx stops the sweep between voltage points.
+func (s *System) RunReliabilitySweep(ctx context.Context, cfg ReliabilityConfig) (*ReliabilityResult, error) {
 	cfg.Board = s.Board
-	return core.RunReliability(cfg)
+	if cfg.Workers == 0 {
+		cfg.Workers = s.sweepWorkers
+	}
+	return core.RunReliabilitySweep(ctx, cfg)
 }
 
 // RunPowerSweep executes the Fig. 2/3 measurement with this system's
