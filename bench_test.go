@@ -10,8 +10,10 @@ package hbmvolt
 // next to the timing. EXPERIMENTS.md records paper-vs-measured values.
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"testing"
 
 	"hbmvolt/internal/axi"
@@ -19,6 +21,7 @@ import (
 	"hbmvolt/internal/core"
 	"hbmvolt/internal/faults"
 	"hbmvolt/internal/pattern"
+	"hbmvolt/internal/service"
 )
 
 // BenchmarkFig2PowerSweep regenerates Fig. 2 (normalized power vs
@@ -225,6 +228,90 @@ func BenchmarkReliabilitySweep(b *testing.B) {
 			b.ReportMetric(float64(len(res.Points))*float64(b.N)/b.Elapsed().Seconds(), "points/sec")
 			b.ReportMetric(float64(j), "workers")
 		})
+	}
+}
+
+// benchSweepRequest is the small reliability sweep the service
+// benchmarks submit: one sensitive port, one pattern, two grid points.
+func benchSweepRequest(seed uint64) service.SweepRequest {
+	return service.SweepRequest{
+		Kind:     service.KindReliability,
+		Seed:     seed,
+		Scale:    1024,
+		Grid:     []float64{0.90, 0.89},
+		Patterns: []string{"all1"},
+		Ports:    []int{18},
+		Batch:    2,
+	}
+}
+
+// BenchmarkServiceSubmit measures the sweep service end to end over
+// real HTTP: submit a small uncached reliability sweep, follow its
+// event stream to completion, fetch the result. Every iteration uses a
+// fresh device seed, so this is the cache-miss path — board build,
+// scheduler run, payload marshal and transport included.
+func BenchmarkServiceSubmit(b *testing.B) {
+	srv := service.New(service.Config{Workers: 1, CacheEntries: 4, MaxJobs: 64})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	c := service.NewClient(ts.URL)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, err := c.Submit(ctx, benchSweepRequest(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if state, err := c.Wait(ctx, sub.ID); err != nil || state != service.StateDone {
+			b.Fatalf("state=%v err=%v", state, err)
+		}
+		if _, err := c.Result(ctx, sub.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sweeps/sec")
+}
+
+// BenchmarkServiceCacheHit measures the coalesced repeat path: the
+// sweep ran once at setup, so every iteration is submit + result over
+// HTTP served entirely from the fingerprint-keyed cache — the number
+// that bounds how fast the daemon answers the many-identical-consumers
+// workload.
+func BenchmarkServiceCacheHit(b *testing.B) {
+	srv := service.New(service.Config{Workers: 1})
+	ts := httptest.NewServer(srv)
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+	c := service.NewClient(ts.URL)
+	ctx := context.Background()
+	warm, err := c.Submit(ctx, benchSweepRequest(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if state, err := c.Wait(ctx, warm.ID); err != nil || state != service.StateDone {
+		b.Fatalf("state=%v err=%v", state, err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, err := c.Submit(ctx, benchSweepRequest(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sub.CacheHit {
+			b.Fatalf("iteration %d missed the cache: %+v", i, sub)
+		}
+		if _, err := c.Result(ctx, sub.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "hits/sec")
+	if runs := srv.Manager().Runs(); runs != 1 {
+		b.Fatalf("cache-hit benchmark recomputed: %d runs", runs)
 	}
 }
 

@@ -42,6 +42,7 @@ var (
 	flagScale = flag.Uint64("scale", 1, "capacity divisor for Monte-Carlo commands (power of two; 1 = the paper's full 8 GB)")
 	flagNoise = flag.Float64("noise", 0.005, "relative measurement noise of the monitor chain (0 = exact)")
 	flagCSV   = flag.String("csv", "", "also write machine-readable data to this file (fig2/fig5)")
+	flagJSON  = flag.String("json", "", "also write machine-readable NDJSON data to this file (fig2/fig5)")
 	flagTol   = flag.Float64("tol", 0, "tradeoff: tolerable cell fault rate (e.g. 1e-6 for 0.0001%)")
 	flagPCs   = flag.Int("pcs", 32, "tradeoff: minimum pseudo channels required")
 	flagBatch = flag.Int("batch", 5, "reliability: batch size (paper uses 130)")
@@ -68,10 +69,35 @@ func main() {
 		}
 		cmd = flag.Arg(0)
 	}
+	if err := validateFlags(); err != nil {
+		fmt.Fprintf(os.Stderr, "hbmvolt: %v\n\n", err)
+		usage()
+		os.Exit(2)
+	}
 	if err := run(cmd); err != nil {
 		fmt.Fprintln(os.Stderr, "hbmvolt:", err)
 		os.Exit(1)
 	}
+}
+
+// validateFlags rejects flag values that would otherwise propagate into
+// the board or the sweep as confusing downstream failures (or, worse,
+// silently bogus statistics — a zero batch would divide by zero, a
+// negative noise sigma is meaningless).
+func validateFlags() error {
+	if *flagScale == 0 || *flagScale&(*flagScale-1) != 0 {
+		return fmt.Errorf("-scale %d: must be a nonzero power of two", *flagScale)
+	}
+	if *flagBatch < 1 {
+		return fmt.Errorf("-batch %d: must be >= 1", *flagBatch)
+	}
+	if *flagJ < 1 {
+		return fmt.Errorf("-j %d: must be >= 1", *flagJ)
+	}
+	if *flagNoise < 0 {
+		return fmt.Errorf("-noise %v: must be >= 0", *flagNoise)
+	}
+	return nil
 }
 
 func usage() {
@@ -100,7 +126,10 @@ func run(cmd string) error {
 		if err != nil {
 			return err
 		}
-		return maybeCSV(func(w io.Writer) error { return sys.WriteFig2CSV(w, res) })
+		if err := maybeWrite(*flagCSV, func(w io.Writer) error { return sys.WriteFig2CSV(w, res) }); err != nil {
+			return err
+		}
+		return maybeWrite(*flagJSON, func(w io.Writer) error { return sys.WriteFig2JSON(w, res) })
 	case "fig3":
 		_, err := sys.RenderFig3(out)
 		return err
@@ -111,7 +140,10 @@ func run(cmd string) error {
 		if err := sys.RenderFig5(out); err != nil {
 			return err
 		}
-		return maybeCSV(sys.WriteFig5CSV)
+		if err := maybeWrite(*flagCSV, sys.WriteFig5CSV); err != nil {
+			return err
+		}
+		return maybeWrite(*flagJSON, sys.WriteFig5JSON)
 	case "fig6":
 		return sys.RenderFig6(out)
 	case "ecc":
@@ -147,11 +179,13 @@ func run(cmd string) error {
 	}
 }
 
-func maybeCSV(write func(io.Writer) error) error {
-	if *flagCSV == "" {
+// maybeWrite runs the export if its destination flag (-csv or -json)
+// was set.
+func maybeWrite(path string, write func(io.Writer) error) error {
+	if path == "" {
 		return nil
 	}
-	f, err := os.Create(*flagCSV)
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -159,7 +193,7 @@ func maybeCSV(write func(io.Writer) error) error {
 	if err := write(f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", *flagCSV)
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

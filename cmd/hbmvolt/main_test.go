@@ -158,6 +158,62 @@ func TestRunCSVExport(t *testing.T) {
 	}
 }
 
+func TestRunJSONExport(t *testing.T) {
+	silenceStdout(t)
+	setFlag(t, flagScale, 1024)
+	setFlag(t, flagNoise, 0)
+	path := filepath.Join(t.TempDir(), "fig2.ndjson")
+	setFlag(t, flagJSON, path)
+	if err := run("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), `{"volts":`) {
+		t.Fatalf("json content: %.60s", data)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "{") || !strings.HasSuffix(line, "}") {
+			t.Fatalf("line %d is not a JSON object: %q", i, line)
+		}
+	}
+}
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		set  func(t *testing.T)
+		want string // substring of the error; "" means valid
+	}{
+		{"defaults", func(t *testing.T) {}, ""},
+		{"scale zero", func(t *testing.T) { setFlag(t, flagScale, 0) }, "power of two"},
+		{"scale not pow2", func(t *testing.T) { setFlag(t, flagScale, 3) }, "power of two"},
+		{"scale pow2 ok", func(t *testing.T) { setFlag(t, flagScale, 4096) }, ""},
+		{"batch zero", func(t *testing.T) { setFlag(t, flagBatch, 0) }, "-batch"},
+		{"batch negative", func(t *testing.T) { setFlag(t, flagBatch, -2) }, "-batch"},
+		{"j zero", func(t *testing.T) { setFlag(t, flagJ, 0) }, "-j"},
+		{"noise negative", func(t *testing.T) { setFlag(t, flagNoise, -0.1) }, "-noise"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			c.set(t)
+			err := validateFlags()
+			if c.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
 func TestTradeoffInfeasible(t *testing.T) {
 	silenceStdout(t)
 	setFlag(t, flagScale, 1024)

@@ -1,0 +1,96 @@
+// Command hbmvoltd serves Algorithm 1 reliability sweeps and Fig. 2/3
+// power sweeps over HTTP — the sweep-as-a-service daemon on top of the
+// board-fleet scheduler.
+//
+// Usage:
+//
+//	hbmvoltd [flags]
+//
+// API (JSON over HTTP; see internal/service):
+//
+//	POST   /v1/sweeps             submit {"kind":"reliability"|"power", ...}
+//	GET    /v1/sweeps/{id}        status + result
+//	GET    /v1/sweeps/{id}/result raw result payload (byte-stable)
+//	GET    /v1/sweeps/{id}/events NDJSON progress stream
+//	DELETE /v1/sweeps/{id}        cancel
+//	GET    /healthz               liveness + statistics
+//
+// Identical requests — concurrent or repeated — coalesce into a single
+// computation and return bit-identical payloads; see the cache-key and
+// determinism contract in internal/service.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hbmvolt/internal/service"
+)
+
+var (
+	flagAddr    = flag.String("addr", "127.0.0.1:8023", "listen address")
+	flagWorkers = flag.Int("workers", 2, "concurrent sweep jobs")
+	flagQueue   = flag.Int("queue", 16, "queued-sweep backlog bound (extra submissions get 503)")
+	flagCache   = flag.Int("cache", 256, "result cache entries (LRU)")
+	flagMaxJobs = flag.Int("max-jobs", 1024, "retained job records (oldest terminal jobs evicted)")
+	flagFleet   = flag.Int("j", runtime.GOMAXPROCS(0), "default board-fleet size per sharded sweep (request \"workers\" overrides)")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hbmvoltd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *flagWorkers < 1 || *flagQueue < 1 || *flagCache < 1 || *flagMaxJobs < 1 || *flagFleet < 1 {
+		return errors.New("-workers, -queue, -cache, -max-jobs and -j must all be >= 1")
+	}
+	srv := service.New(service.Config{
+		Workers:      *flagWorkers,
+		QueueDepth:   *flagQueue,
+		CacheEntries: *flagCache,
+		MaxJobs:      *flagMaxJobs,
+		FleetSize:    *flagFleet,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{
+		Addr:              *flagAddr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("hbmvoltd listening on %s (%d workers, queue %d, cache %d, fleet %d)",
+			*flagAddr, *flagWorkers, *flagQueue, *flagCache, *flagFleet)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("hbmvoltd shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return nil
+}

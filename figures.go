@@ -266,6 +266,66 @@ func (s *System) WriteFig2CSV(w io.Writer, res *PowerSweepResult) error {
 	return c.Flush()
 }
 
+// Fig2Record is one machine-readable Fig. 2 data point, the JSON
+// sibling of the WriteFig2CSV columns.
+type Fig2Record struct {
+	Volts        float64 `json:"volts"`
+	Ports        int     `json:"ports"`
+	Utilization  float64 `json:"utilization"`
+	Watts        float64 `json:"watts"`
+	NormPower    float64 `json:"norm_power"`
+	NormAlphaCLF float64 `json:"norm_alpha_clf"`
+	Savings      float64 `json:"savings"`
+}
+
+// WriteFig2JSON emits the Fig. 2 data as NDJSON, one Fig2Record per
+// line — the same rows WriteFig2CSV emits, in the serialization the
+// sweep service shares.
+func (s *System) WriteFig2JSON(w io.Writer, res *PowerSweepResult) error {
+	n := report.NewNDJSON(w)
+	for _, pt := range res.Points {
+		n.Record(Fig2Record{
+			Volts:        pt.Volts,
+			Ports:        pt.Ports,
+			Utilization:  pt.Utilization,
+			Watts:        pt.Watts,
+			NormPower:    pt.NormPower,
+			NormAlphaCLF: pt.NormAlphaCLF,
+			Savings:      pt.Savings,
+		})
+	}
+	return n.Flush()
+}
+
+// Fig5Record is one machine-readable Fig. 5 cell, the JSON sibling of
+// the WriteFig5CSV columns.
+type Fig5Record struct {
+	Volts   float64 `json:"volts"`
+	PC      int     `json:"pc"`
+	Kind    string  `json:"kind"`
+	Percent float64 `json:"percent"`
+	NF      bool    `json:"nf,omitempty"`
+}
+
+// WriteFig5JSON emits the per-PC fault atlas as NDJSON, one Fig5Record
+// per line.
+func (s *System) WriteFig5JSON(w io.Writer) error {
+	n := report.NewNDJSON(w)
+	for _, kind := range []faults.FlipKind{faults.OneToZero, faults.ZeroToOne} {
+		tbl, err := core.BuildFig5Table(s.atlas, nil, kind)
+		if err != nil {
+			return err
+		}
+		for i, v := range tbl.Grid {
+			for pc := 0; pc < faults.NumPCs; pc++ {
+				cell := tbl.Cells[i][pc]
+				n.Record(Fig5Record{Volts: v, PC: pc, Kind: kind.String(), Percent: cell.Percent, NF: cell.NF})
+			}
+		}
+	}
+	return n.Flush()
+}
+
 // WriteFig5CSV emits the per-PC fault atlas as CSV rows (volts, pc,
 // kind, percent, nf).
 func (s *System) WriteFig5CSV(w io.Writer) error {

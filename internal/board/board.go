@@ -73,16 +73,20 @@ type Board struct {
 	activePorts int
 }
 
-// New builds a board.
-func New(cfg Config) (*Board, error) {
+// FaultConfig returns the (default-filled) fault-model configuration a
+// board built from cfg would carry — without building the board. Its
+// Fingerprint is the analytic-rate cache key that board's model will
+// memoize under, which is what result-caching services key sweep
+// payloads by; keeping this the single constructor (New routes through
+// it) guarantees the two can never diverge.
+func FaultConfig(cfg Config) (faults.Config, error) {
 	if cfg.Scale == 0 {
 		cfg.Scale = 1024
 	}
 	org, err := hbm.Scaled(cfg.Scale)
 	if err != nil {
-		return nil, err
+		return faults.Config{}, err
 	}
-
 	fcfg := faults.DefaultConfig()
 	fcfg.Seed = cfg.Seed
 	if cfg.Temperature != 0 {
@@ -92,6 +96,22 @@ func New(cfg Config) (*Board, error) {
 	fcfg.SparseEnumeration = cfg.SparseFaults
 	if cfg.Profiles != nil {
 		fcfg.Profiles = *cfg.Profiles
+	}
+	return fcfg, nil
+}
+
+// New builds a board.
+func New(cfg Config) (*Board, error) {
+	if cfg.Scale == 0 {
+		cfg.Scale = 1024
+	}
+	org, err := hbm.Scaled(cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	fcfg, err := FaultConfig(cfg)
+	if err != nil {
+		return nil, err
 	}
 	fm, err := faults.New(fcfg)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -21,6 +22,11 @@ type PowerSweepConfig struct {
 	PortCounts []int
 	// Samples is the number of averaged monitor reads per point (0 → 5).
 	Samples int
+	// OnPoint, when non-nil, is invoked after each measured (voltage,
+	// bandwidth) point with monotone progress counters; MeanFlips is
+	// always zero and Watts carries the measurement. The sweep service
+	// streams these to its clients.
+	OnPoint ProgressFunc
 }
 
 // PowerPoint is one measured (voltage, bandwidth) operating point.
@@ -72,6 +78,13 @@ func (r *PowerSweepResult) SavingsAt(volts float64, ports int) (float64, error) 
 // RunPowerSweep measures power at every (voltage, bandwidth) pair via
 // the board's INA226, reproducing Fig. 2 and Fig. 3.
 func RunPowerSweep(cfg PowerSweepConfig) (*PowerSweepResult, error) {
+	return RunPowerSweepCtx(context.Background(), cfg)
+}
+
+// RunPowerSweepCtx is RunPowerSweep with context cancellation: a
+// cancelled ctx stops the sweep between measurement points, restores
+// nominal conditions, and returns ctx.Err().
+func RunPowerSweepCtx(ctx context.Context, cfg PowerSweepConfig) (*PowerSweepResult, error) {
 	if cfg.Board == nil {
 		return nil, errors.New("core: PowerSweepConfig.Board is nil")
 	}
@@ -85,6 +98,13 @@ func RunPowerSweep(cfg PowerSweepConfig) (*PowerSweepResult, error) {
 	if cfg.Samples == 0 {
 		cfg.Samples = 5
 	}
+	measurable := 0
+	for _, v := range cfg.Grid {
+		if v >= faults.VCritical {
+			measurable++
+		}
+	}
+	progress := SweepProgress{Total: len(cfg.PortCounts) * measurable}
 
 	measure := func() (float64, error) {
 		sum := 0.0
@@ -136,6 +156,14 @@ func RunPowerSweep(cfg PowerSweepConfig) (*PowerSweepResult, error) {
 			if v < faults.VCritical {
 				continue // the memory crashes; power is meaningless
 			}
+			if cerr := ctx.Err(); cerr != nil {
+				// Leave the board at nominal conditions even on the
+				// cancellation path.
+				if rerr := setPoint(faults.VNom, 32); rerr != nil {
+					return nil, rerr
+				}
+				return nil, cerr
+			}
 			if err := setPoint(v, ports); err != nil {
 				return nil, err
 			}
@@ -158,6 +186,12 @@ func RunPowerSweep(cfg PowerSweepConfig) (*PowerSweepResult, error) {
 				pt.Savings = nomWatts / w
 			}
 			res.Points = append(res.Points, pt)
+			if cfg.OnPoint != nil {
+				progress.Done++
+				progress.Volts = pt.Volts
+				progress.Watts = pt.Watts
+				cfg.OnPoint(progress)
+			}
 		}
 	}
 

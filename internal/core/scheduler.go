@@ -28,19 +28,26 @@ import (
 )
 
 // SweepProgress reports one completed voltage point of a running sweep.
+// The JSON field names are the wire format of the sweep service's event
+// stream (internal/service), so they are part of the API surface.
 type SweepProgress struct {
 	// Done is the number of completed points so far (monotone, 1-based);
-	// Total is the grid size.
-	Done, Total int
+	// Total is the grid size. Both are omitted from JSON when zero, so
+	// terminal service events carry no vestigial counters.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
 	// Volts is the completed point's voltage; under a sharded sweep
 	// points complete out of grid order.
-	Volts float64
+	Volts float64 `json:"volts,omitempty"`
 	// Crashed marks a point below V_critical (the board was power
 	// cycled).
-	Crashed bool
+	Crashed bool `json:"crashed,omitempty"`
 	// MeanFlips is the point's batch-mean flip count over all ports and
-	// patterns.
-	MeanFlips float64
+	// patterns. Zero for power-sweep progress.
+	MeanFlips float64 `json:"mean_flips,omitempty"`
+	// Watts is the measured rail power of a completed power-sweep point.
+	// Zero for reliability-sweep progress.
+	Watts float64 `json:"watts,omitempty"`
 }
 
 // ProgressFunc receives sweep progress. Calls are serialized; the

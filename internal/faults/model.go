@@ -189,6 +189,14 @@ func MustNew(cfg Config) *Model {
 // from.
 func (m *Model) Config() Config { return m.cfg }
 
+// Fingerprint returns the analytic-rate cache key of this model's
+// configuration (see Config.Fingerprint). Two models with equal
+// fingerprints realize identical expected rates at every voltage, which
+// is what makes the fingerprint usable as a result-cache key for sweep
+// services: equal fingerprints plus equal sweep parameters imply
+// bit-identical sweep outcomes.
+func (m *Model) Fingerprint() uint64 { return m.cfg.Fingerprint() }
+
 // Geometry returns the per-PC geometry.
 func (m *Model) Geometry() Geometry { return m.cfg.Geometry }
 

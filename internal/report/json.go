@@ -1,0 +1,57 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+)
+
+// JSON serialization shared by the CLI's -json exports and the sweep
+// service's HTTP payloads. Everything here is deterministic: the same
+// value always encodes to the same bytes (encoding/json emits struct
+// fields in declaration order and sorts map keys), which is what lets
+// the service cache marshaled payloads and serve byte-identical bodies
+// for identical requests.
+
+// Marshal encodes v as compact JSON with a trailing newline. HTML
+// escaping is disabled so payloads stay readable and byte-stable
+// regardless of transport.
+func Marshal(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// NDJSON streams newline-delimited JSON records to an io.Writer — the
+// machine-readable sibling of Table/CSV, and the wire format of the
+// sweep service's event stream. Errors are sticky: after the first
+// failed record, subsequent calls are no-ops and Flush reports the
+// error.
+type NDJSON struct {
+	w   io.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewNDJSON wraps a writer.
+func NewNDJSON(w io.Writer) *NDJSON {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	return &NDJSON{w: w, enc: enc}
+}
+
+// Record writes one value as a single JSON line.
+func (n *NDJSON) Record(v any) {
+	if n.err != nil {
+		return
+	}
+	n.err = n.enc.Encode(v)
+}
+
+// Flush reports the first error encountered. (Records are written
+// eagerly; the name parallels CSV.Flush.)
+func (n *NDJSON) Flush() error { return n.err }

@@ -1,0 +1,86 @@
+package report
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+type jsonRow struct {
+	Volts   float64 `json:"volts"`
+	Ports   int     `json:"ports"`
+	Pattern string  `json:"pattern"`
+	Watts   float64 `json:"watts"`
+	NF      bool    `json:"nf,omitempty"`
+}
+
+// TestNDJSONGolden pins the exact bytes of the NDJSON serialization —
+// the sweep service's cache stores marshaled payloads and promises
+// byte-identical responses, so any encoding drift is a breaking change.
+func TestNDJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	n := NewNDJSON(&buf)
+	n.Record(jsonRow{Volts: 1.20, Ports: 32, Pattern: "all1", Watts: 17.36})
+	n.Record(jsonRow{Volts: 0.85, Ports: 8, Pattern: "all0&<>", Watts: 7.5, NF: true})
+	n.Record(map[string]float64{"b": 2, "a": 1}) // map keys sort
+	if err := n.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "ndjson.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("NDJSON drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestMarshalDeterministic asserts the cache-key contract: equal values
+// marshal to equal bytes, HTML is not escaped, and output ends in one
+// newline.
+func TestMarshalDeterministic(t *testing.T) {
+	v := jsonRow{Volts: 0.9, Ports: 16, Pattern: "a<b"}
+	a, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("non-deterministic marshal: %q vs %q", a, b)
+	}
+	if !bytes.Contains(a, []byte("a<b")) {
+		t.Fatalf("HTML-escaped output: %q", a)
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) || bytes.Count(a, []byte("\n")) != 1 {
+		t.Fatalf("want single trailing newline: %q", a)
+	}
+}
+
+// TestNDJSONStickyError verifies that a failed record poisons the
+// stream and Flush reports it.
+func TestNDJSONStickyError(t *testing.T) {
+	n := NewNDJSON(&bytes.Buffer{})
+	n.Record(func() {}) // unmarshalable
+	n.Record(jsonRow{})
+	if n.Flush() == nil {
+		t.Fatal("unmarshalable record not reported")
+	}
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a bounded LRU over marshaled result payloads, keyed by
+// the request cache key. It survives job eviction: once a sweep's bytes
+// are in here, a repeat of the same request is answered without
+// recomputation until capacity pressure ages the entry out. Payload
+// slices are stored and returned by reference and must be treated as
+// immutable by all parties.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[uint64]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key     uint64
+	payload []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[uint64]*list.Element),
+	}
+}
+
+// Get returns the payload for key, marking it most recently used.
+func (c *resultCache) Get(key uint64) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).payload, true
+}
+
+// Put stores a payload, evicting the least recently used entry on
+// overflow. Storing an existing key refreshes its recency; the payload
+// is not replaced — by the determinism contract a key's payload never
+// changes, so the first write wins and stays byte-stable.
+func (c *resultCache) Put(key uint64, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(key, payload)
+}
+
+// Touch records a served-from-cache event for a payload that may or may
+// not still be resident: a resident entry is refreshed, an evicted one
+// re-inserted. Either way it counts as a hit — the caller served the
+// bytes without recomputation, which is what the hit counter measures.
+// (The coalescing path keeps payloads alive on completed jobs beyond
+// this LRU's horizon.)
+func (c *resultCache) Touch(key uint64, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits++
+	c.putLocked(key, payload)
+}
+
+func (c *resultCache) putLocked(key uint64, payload []byte) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, payload: payload})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the live entry count.
+func (c *resultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *resultCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client is a typed consumer of the sweep service API. The zero value
+// is not usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8023".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient. Streaming calls hold a
+	// connection open for the sweep's lifetime, so the client must not
+	// impose an overall request timeout.
+	HTTPClient *http.Client
+}
+
+// NewClient builds a client for a server root URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTPClient: http.DefaultClient}
+}
+
+// APIError is a non-2xx response decoded from the server's error body.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.HTTPClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 300 {
+		defer resp.Body.Close()
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return resp, nil
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, body io.Reader, out any) error {
+	resp, err := c.do(ctx, method, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a sweep request and returns the job handle.
+func (c *Client) Submit(ctx context.Context, req SweepRequest) (SubmitResponse, error) {
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return SubmitResponse{}, err
+	}
+	var out SubmitResponse
+	err = c.doJSON(ctx, http.MethodPost, "/v1/sweeps", bytes.NewReader(blob), &out)
+	return out, err
+}
+
+// Status fetches a job's current status (result payload not included).
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.doJSON(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &out)
+	return out, err
+}
+
+// Result fetches a completed job's raw payload bytes — the byte-stable
+// body the cache contract promises. It fails with an *APIError (409)
+// while the job is not done.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/result", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Stream follows a job's NDJSON event stream, invoking fn per event
+// until the stream ends (terminal event), fn returns an error, or ctx
+// is cancelled. It returns nil on a completed stream.
+func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("service: decoding event %q: %w", line, err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Wait streams events until the job reaches a terminal state and
+// returns that state.
+func (c *Client) Wait(ctx context.Context, id string) (JobState, error) {
+	last := JobState("")
+	err := c.Stream(ctx, id, func(e Event) error {
+		if JobState(e.Type).terminal() {
+			last = JobState(e.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	if last == "" {
+		return "", fmt.Errorf("service: event stream for %s ended without a terminal event", id)
+	}
+	return last, nil
+}
+
+// Cancel requests cancellation and returns the job's status.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.doJSON(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, &out)
+	return out, err
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.doJSON(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}

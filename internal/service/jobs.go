@@ -1,0 +1,566 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hbmvolt/internal/board"
+	"hbmvolt/internal/core"
+	"hbmvolt/internal/hbm"
+	"hbmvolt/internal/pattern"
+	"hbmvolt/internal/report"
+)
+
+// JobState is the lifecycle of one submitted sweep.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// terminal reports whether a state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Event is one record of a job's NDJSON event stream.
+type Event struct {
+	// Type is "progress" while the sweep runs, then exactly one of
+	// "done", "failed" or "cancelled".
+	Type string `json:"type"`
+	core.SweepProgress
+	// Error carries the failure reason of a "failed" event.
+	Error string `json:"error,omitempty"`
+}
+
+// Job is one submitted sweep: its normalized request, its lifecycle
+// state, its event history, and — once done — its cached payload.
+type Job struct {
+	// ID addresses the job in the HTTP API.
+	ID string
+	// Key is the request's cache key; jobs with equal keys coalesce.
+	Key uint64
+	// Req is the normalized request.
+	Req SweepRequest
+
+	// runCtx governs the sweep's execution; cancel aborts it. Both are
+	// fixed at submit time, so a DELETE always cancels the same context
+	// the worker runs under, whether the job is still queued or already
+	// mid-sweep.
+	runCtx context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   JobState
+	errMsg  string
+	payload []byte
+	events  []Event
+	// changed is closed and replaced on every event append or state
+	// transition; streamers wait on the instance they snapshotted.
+	changed chan struct{}
+}
+
+func (j *Job) signalLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// appendEvent records a progress event and wakes streamers.
+func (j *Job) appendEvent(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, e)
+	j.signalLocked()
+}
+
+// finish moves the job to a terminal state exactly once, recording the
+// terminal event in the same step so streamers observe "last event ⇔
+// terminal state" atomically. Later calls are ignored — e.g. a
+// cancellation racing the sweep's own completion keeps whichever
+// outcome landed first.
+func (j *Job) finish(state JobState, payload []byte, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.payload = payload
+	j.errMsg = errMsg
+	e := Event{Type: string(state)}
+	if state == StateFailed {
+		e.Error = errMsg
+	}
+	j.events = append(j.events, e)
+	j.signalLocked()
+}
+
+// setRunning transitions queued → running; it is a no-op (returning
+// false) if the job was cancelled while queued.
+func (j *Job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.signalLocked()
+	return true
+}
+
+// eventsSince returns the events after index i, the current state, and
+// the change channel to wait on if the caller has consumed everything.
+func (j *Job) eventsSince(i int) ([]Event, JobState, <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i > len(j.events) {
+		i = len(j.events)
+	}
+	evs := j.events[i:len(j.events):len(j.events)]
+	return evs, j.state, j.changed
+}
+
+// Snapshot returns the job's externally visible status.
+func (j *Job) Snapshot() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:    j.ID,
+		Kind:  j.Req.Kind,
+		Key:   formatKey(j.Key),
+		State: j.state,
+		Error: j.errMsg,
+	}
+	for i := len(j.events) - 1; i >= 0; i-- {
+		if j.events[i].Type == "progress" {
+			st.Done, st.Total = j.events[i].Done, j.events[i].Total
+			break
+		}
+	}
+	return st
+}
+
+// Payload returns the marshaled result bytes (nil unless done).
+func (j *Job) Payload() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.payload
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// JobStatus is the GET /v1/sweeps/{id} body (result excluded).
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Kind  string   `json:"kind"`
+	Key   string   `json:"key"`
+	State JobState `json:"state"`
+	// Done/Total mirror the latest progress event.
+	Done  int    `json:"done"`
+	Total int    `json:"total"`
+	Error string `json:"error,omitempty"`
+}
+
+// Config parameterizes a Manager (and its Server).
+type Config struct {
+	// Workers is the number of sweeps running concurrently (default 2).
+	// Distinct from SweepRequest.Workers, the per-sweep board-fleet size.
+	Workers int
+	// QueueDepth bounds the backlog of queued jobs; submissions beyond
+	// it fail with ErrQueueFull (default 16).
+	QueueDepth int
+	// CacheEntries bounds the result LRU (default 256 payloads).
+	CacheEntries int
+	// MaxJobs bounds retained job records; the oldest terminal jobs are
+	// evicted beyond it (their payloads survive in the LRU) (default 1024).
+	MaxJobs int
+	// FleetSize is the default per-sweep board-fleet size when a request
+	// leaves Workers at 0 (default 1, sequential).
+	FleetSize int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.FleetSize <= 0 {
+		c.FleetSize = 1
+	}
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity (HTTP 503).
+var ErrQueueFull = errors.New("service: sweep queue full")
+
+// errShutdown is returned by Submit after Close.
+var errShutdown = errors.New("service: manager is shut down")
+
+// Manager owns the job table, the bounded work queue, the worker pool
+// driving sweeps through internal/core, and the result LRU. It
+// coalesces identical submissions: one live job per cache key.
+type Manager struct {
+	cfg   Config
+	cache *resultCache
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	nextID uint64
+	jobs   map[string]*Job
+	// byKey maps a cache key to its coalescing target: the live (or
+	// successfully completed) job for that key.
+	byKey map[uint64]*Job
+	// order lists job IDs in creation order, for MaxJobs eviction.
+	order []string
+	queue chan *Job
+
+	// runs counts sweeps actually executed (cache hits and coalesced
+	// submissions do not increment it) — the observable the coalescing
+	// tests and the smoke job assert on.
+	runs atomic.Uint64
+
+	// runSweep executes one job's sweep and returns the marshaled
+	// payload. Overridable in tests to control timing; defaults to the
+	// real board + core path.
+	runSweep func(ctx context.Context, j *Job) ([]byte, error)
+}
+
+// NewManager builds a manager and starts its worker pool.
+func NewManager(cfg Config) *Manager {
+	cfg.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:     cfg,
+		cache:   newResultCache(cfg.CacheEntries),
+		baseCtx: ctx,
+		stop:    cancel,
+		jobs:    make(map[string]*Job),
+		byKey:   make(map[uint64]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+	}
+	m.runSweep = m.executeSweep
+	for w := 0; w < cfg.Workers; w++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close cancels every running sweep, drains the workers, and rejects
+// further submissions.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	close(m.queue)
+	m.mu.Unlock()
+	m.stop()
+	m.wg.Wait()
+}
+
+// Submit registers a sweep request. The returned bools report whether
+// the request coalesced onto an existing job and whether it was
+// answered from the result cache without queueing any work.
+func (m *Manager) Submit(req SweepRequest) (job *Job, coalesced, cacheHit bool, err error) {
+	if err := req.normalize(); err != nil {
+		return nil, false, false, err
+	}
+	key, err := req.cacheKey()
+	if err != nil {
+		return nil, false, false, badRequest("%v", err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, false, errShutdown
+	}
+	// Coalesce onto the live (or done) job for this key. Failed and
+	// cancelled jobs are not coalescing targets — a resubmission retries.
+	if j, ok := m.byKey[key]; ok {
+		if st := j.State(); !st.terminal() || st == StateDone {
+			if st == StateDone {
+				// Served without recomputation: count the hit and keep
+				// the payload warm in the LRU.
+				m.cache.Touch(key, j.Payload())
+			}
+			return j, true, st == StateDone, nil
+		}
+	}
+	// Evicted job but retained payload: answer from the LRU with a
+	// pre-completed job, no queueing, no recomputation.
+	if payload, ok := m.cache.Get(key); ok {
+		j := m.newJobLocked(key, req, nil)
+		j.state = StateDone
+		j.payload = payload
+		j.events = []Event{{Type: string(StateDone)}}
+		return j, false, true, nil
+	}
+
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j := m.newJobLocked(key, req, cancel)
+	j.runCtx = ctx
+	select {
+	case m.queue <- j:
+	default:
+		// Queue full: roll the registration back.
+		cancel()
+		delete(m.jobs, j.ID)
+		delete(m.byKey, key)
+		m.order = m.order[:len(m.order)-1]
+		return nil, false, false, ErrQueueFull
+	}
+	return j, false, false, nil
+}
+
+// newJobLocked allocates and registers a job (m.mu held).
+func (m *Manager) newJobLocked(key uint64, req SweepRequest, cancel context.CancelFunc) *Job {
+	m.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("swp-%06d", m.nextID),
+		Key:     key,
+		Req:     req,
+		state:   StateQueued,
+		changed: make(chan struct{}),
+		cancel:  cancel,
+	}
+	if cancel == nil {
+		j.cancel = func() {}
+	}
+	m.jobs[j.ID] = j
+	m.byKey[key] = j
+	m.order = append(m.order, j.ID)
+	m.evictLocked()
+	return j
+}
+
+// evictLocked drops the oldest terminal jobs beyond MaxJobs. Their
+// payloads stay in the LRU, so evicted results remain servable.
+func (m *Manager) evictLocked() {
+	for len(m.jobs) > m.cfg.MaxJobs {
+		evicted := false
+		for i, id := range m.order {
+			j, ok := m.jobs[id]
+			if !ok {
+				continue
+			}
+			if !j.State().terminal() {
+				continue
+			}
+			delete(m.jobs, id)
+			if m.byKey[j.Key] == j {
+				delete(m.byKey, j.Key)
+			}
+			m.order = append(m.order[:i:i], m.order[i+1:]...)
+			evicted = true
+			break
+		}
+		if !evicted {
+			return // everything live; allow temporary overshoot
+		}
+	}
+}
+
+// Job returns a job by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job. Queued jobs terminate
+// immediately; running sweeps stop at the next voltage point through
+// context propagation into the scheduler. Terminal jobs are unaffected
+// (cancellation is idempotent).
+func (m *Manager) Cancel(id string) (*Job, bool) {
+	j, ok := m.Job(id)
+	if !ok {
+		return nil, false
+	}
+	// Mark a still-queued job cancelled right away so the worker skips
+	// it; for running jobs the context does the work.
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCancelled
+		j.events = append(j.events, Event{Type: string(StateCancelled)})
+		j.signalLocked()
+	}
+	j.mu.Unlock()
+	j.cancel()
+	return j, true
+}
+
+// Runs returns the number of sweeps actually executed.
+func (m *Manager) Runs() uint64 { return m.runs.Load() }
+
+// Stats summarizes the manager for /healthz.
+type Stats struct {
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+
+	SweepRuns    uint64 `json:"sweep_runs"`
+	CacheEntries int    `json:"cache_entries"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	Workers      int    `json:"workers"`
+	QueueDepth   int    `json:"queue_depth"`
+}
+
+// Stats gathers current counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	st := Stats{
+		SweepRuns:    m.runs.Load(),
+		CacheEntries: m.cache.Len(),
+		Workers:      m.cfg.Workers,
+		QueueDepth:   m.cfg.QueueDepth,
+	}
+	st.CacheHits, st.CacheMisses = m.cache.Stats()
+	for _, j := range jobs {
+		switch j.State() {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCancelled:
+			st.Cancelled++
+		}
+	}
+	return st
+}
+
+// worker drains the queue, running one sweep at a time.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		if !j.setRunning() {
+			continue // cancelled while queued
+		}
+		m.runJob(j)
+	}
+}
+
+// runJob executes one job under its submit-time context and records its
+// terminal state.
+func (m *Manager) runJob(j *Job) {
+	defer j.cancel()
+	m.runs.Add(1)
+	payload, err := m.runSweep(j.runCtx, j)
+	switch {
+	case err == nil:
+		m.cache.Put(j.Key, payload)
+		j.finish(StateDone, payload, "")
+	case errors.Is(err, context.Canceled) || j.runCtx.Err() != nil:
+		// A cancelled manager context (shutdown) lands here too.
+		j.finish(StateCancelled, nil, "")
+	default:
+		j.finish(StateFailed, nil, err.Error())
+	}
+}
+
+// executeSweep is the real sweep path: build the request's board, run
+// the configured sweep through internal/core with progress events, and
+// marshal the deterministic payload.
+func (m *Manager) executeSweep(ctx context.Context, j *Job) ([]byte, error) {
+	req := j.Req
+	b, err := board.New(board.Config{
+		Seed:         req.Seed,
+		Scale:        req.Scale,
+		SparseFaults: !req.Exact,
+	})
+	if err != nil {
+		return nil, err
+	}
+	onPoint := func(p core.SweepProgress) {
+		j.appendEvent(Event{Type: "progress", SweepProgress: p})
+	}
+	env := resultEnvelope{Kind: req.Kind, Key: formatKey(j.Key)}
+	env.Request = req
+	env.Request.Workers = 0
+
+	switch req.Kind {
+	case KindReliability:
+		patterns := make([]pattern.Pattern, len(req.Patterns))
+		for i, name := range req.Patterns {
+			if patterns[i], err = pattern.ByName(name); err != nil {
+				return nil, err
+			}
+		}
+		ports := make([]hbm.PortID, len(req.Ports))
+		for i, p := range req.Ports {
+			ports[i] = hbm.PortID(p)
+		}
+		workers := req.Workers
+		if workers == 0 {
+			workers = m.cfg.FleetSize
+		}
+		res, err := core.RunReliabilitySweep(ctx, core.ReliabilityConfig{
+			Board:     b,
+			Ports:     ports,
+			Patterns:  patterns,
+			BatchSize: req.Batch,
+			Grid:      req.Grid,
+			Workers:   workers,
+			OnPoint:   onPoint,
+		})
+		if err != nil {
+			return nil, err
+		}
+		env.Reliability = res
+	case KindPower:
+		res, err := core.RunPowerSweepCtx(ctx, core.PowerSweepConfig{
+			Board:      b,
+			Grid:       req.Grid,
+			PortCounts: req.PortCounts,
+			Samples:    req.Samples,
+			OnPoint:    onPoint,
+		})
+		if err != nil {
+			return nil, err
+		}
+		env.Power = res
+	default:
+		return nil, badRequest("unknown kind %q", req.Kind)
+	}
+	return report.Marshal(env)
+}

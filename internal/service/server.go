@@ -1,0 +1,214 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"hbmvolt/internal/report"
+)
+
+// Server is the HTTP face of a Manager. It implements http.Handler; use
+// New to build one and Close to shut the worker pool down.
+type Server struct {
+	mgr *Manager
+	mux *http.ServeMux
+}
+
+// New builds a server (and its manager) from cfg.
+func New(cfg Config) *Server {
+	s := &Server{mgr: NewManager(cfg), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Manager exposes the underlying job manager (tests, embedding).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Close stops the manager: running sweeps are cancelled and the worker
+// pool drained.
+func (s *Server) Close() { s.mgr.Close() }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := report.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxRequestBody bounds POST bodies; a maximal legitimate request (512
+// grid points, every port listed) is a few KB.
+const maxRequestBody = 1 << 20
+
+// SubmitResponse is the POST /v1/sweeps body.
+type SubmitResponse struct {
+	ID    string   `json:"id"`
+	Key   string   `json:"key"`
+	State JobState `json:"state"`
+	// Coalesced marks a submission answered by an already live or
+	// completed identical job; CacheHit marks one answered from the
+	// result LRU. Either way no new computation was scheduled.
+	Coalesced bool `json:"coalesced,omitempty"`
+	CacheHit  bool `json:"cache_hit,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	j, coalesced, cacheHit, err := s.mgr.Submit(req)
+	if err != nil {
+		var reqErr *RequestError
+		switch {
+		case errors.As(err, &reqErr):
+			writeError(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	status := http.StatusAccepted
+	if coalesced || cacheHit {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, SubmitResponse{
+		ID:        j.ID,
+		Key:       formatKey(j.Key),
+		State:     j.State(),
+		Coalesced: coalesced,
+		CacheHit:  cacheHit,
+	})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.mgr.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+// statusBody is the GET /v1/sweeps/{id} response: the status, plus the
+// raw result payload once done.
+type statusBody struct {
+	JobStatus
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, statusBody{JobStatus: j.Snapshot(), Result: j.Payload()})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	st := j.Snapshot()
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict, "sweep %s is %s, not done", j.ID, st.State)
+		return
+	}
+	// The payload is served verbatim: identical requests get
+	// byte-identical bodies, first run or cache hit alike.
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(j.Payload())
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out before possibly blocking on the first
+		// event, so subscribers to queued jobs see the stream open.
+		flusher.Flush()
+	}
+	nd := report.NewNDJSON(w)
+	i := 0
+	for {
+		evs, state, changed := j.eventsSince(i)
+		for _, e := range evs {
+			nd.Record(e)
+		}
+		if nd.Flush() != nil {
+			return // client went away mid-write
+		}
+		if flusher != nil && len(evs) > 0 {
+			flusher.Flush()
+		}
+		i += len(evs)
+		if state.terminal() {
+			// The terminal transition appends its event atomically, so a
+			// terminal state with all events drained means the stream is
+			// complete.
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.mgr.Cancel(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status string `json:"status"`
+	Stats
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Health{Status: "ok", Stats: s.mgr.Stats()})
+}

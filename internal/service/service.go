@@ -1,0 +1,238 @@
+// Package service exposes the repository's Algorithm 1 sweeps as a
+// long-lived HTTP service — sweep-as-a-service over the board-fleet
+// scheduler (internal/core) instead of one-shot CLI runs.
+//
+// The API is JSON over HTTP:
+//
+//	POST   /v1/sweeps             submit a reliability or power sweep
+//	GET    /v1/sweeps/{id}        job status (+ result when done)
+//	GET    /v1/sweeps/{id}/result raw result payload, byte-stable
+//	GET    /v1/sweeps/{id}/events NDJSON stream of SweepProgress events
+//	DELETE /v1/sweeps/{id}        cancel (context cancellation mid-sweep)
+//	GET    /healthz               liveness + queue/cache statistics
+//
+// Determinism is the service's core contract, inherited from the
+// simulation underneath: a sweep's outcome is a pure function of the
+// normalized request (every random draw is keyed on the device seed,
+// address, repetition and voltage — never on evaluation order, wall
+// clock, or worker count). That purity is what makes results cacheable
+// at all. Each submitted request is normalized (defaults filled) and
+// condensed into a cache key — the fault-model config fingerprint
+// (seed × geometry × temperature × per-PC profiles, see
+// faults.Config.Fingerprint) hashed together with the voltage grid,
+// pattern set, port set, batch size, sampling mode and sweep kind.
+// Identical requests, whether concurrent or repeated, coalesce onto a
+// single computation; completed payloads are retained in an LRU so a
+// repeat after job eviction is still served without recomputation, and
+// the response body is byte-identical to the first run's. The fleet
+// size (Workers) is deliberately excluded from the key: results are
+// bit-identical at every worker count, so requests differing only in
+// parallelism hints share one cache entry.
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"hbmvolt/internal/board"
+	"hbmvolt/internal/faults"
+	"hbmvolt/internal/hbm"
+	"hbmvolt/internal/pattern"
+	"hbmvolt/internal/report"
+)
+
+// Sweep kinds.
+const (
+	KindReliability = "reliability"
+	KindPower       = "power"
+)
+
+// SweepRequest is the POST /v1/sweeps body. The zero value of every
+// optional field selects the paper's methodology default.
+type SweepRequest struct {
+	// Kind is "reliability" (Algorithm 1) or "power" (Fig. 2/3).
+	Kind string `json:"kind"`
+	// Seed selects the device instance (0 = the calibrated paper board).
+	Seed uint64 `json:"seed,omitempty"`
+	// Scale divides pseudo-channel capacity (power of two; 0 → 1024, the
+	// 8 MB test device; 1 = the full 8 GB board).
+	Scale uint64 `json:"scale,omitempty"`
+	// Exact selects the bit-exact per-cell fault sampler instead of the
+	// default sparse enumeration ("mode" in the cache key).
+	Exact bool `json:"exact,omitempty"`
+	// Grid is the voltage ladder, descending; nil → the paper's
+	// 1.20 V → 0.81 V sweep.
+	Grid []float64 `json:"grid,omitempty"`
+	// Patterns names the test patterns (reliability; see pattern.ByName);
+	// nil → {all1, all0}.
+	Patterns []string `json:"patterns,omitempty"`
+	// Batch is the repetition count (reliability; 0 → 5).
+	Batch int `json:"batch,omitempty"`
+	// Ports restricts the reliability test to these AXI ports; nil → all 32.
+	Ports []int `json:"ports,omitempty"`
+	// PortCounts are the power sweep's bandwidth operating points;
+	// nil → {0, 8, 16, 24, 32}.
+	PortCounts []int `json:"port_counts,omitempty"`
+	// Samples is the power sweep's averaged monitor reads per point (0 → 5).
+	Samples int `json:"samples,omitempty"`
+	// Workers is the board-fleet size for sharded reliability sweeps
+	// (0 → the server default). A parallelism hint only: results are
+	// bit-identical at every worker count, so Workers is excluded from
+	// the cache key.
+	Workers int `json:"workers,omitempty"`
+}
+
+// RequestError marks a client-side (4xx) validation failure, as opposed
+// to an internal sweep failure.
+type RequestError struct{ msg string }
+
+func (e *RequestError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) error {
+	return &RequestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// maxGridPoints bounds a single request's voltage grid; the paper's
+// full ladder is 40 points, so the cap only rejects abuse.
+const maxGridPoints = 512
+
+// maxBatch bounds the repetition count (the paper's methodology uses
+// 130).
+const maxBatch = 1 << 12
+
+// normalize fills methodology defaults in place and validates every
+// field, so that two requests meaning the same sweep become structurally
+// identical before keying. Violations return a *RequestError (HTTP 400).
+func (r *SweepRequest) normalize() error {
+	switch r.Kind {
+	case KindReliability, KindPower:
+	case "":
+		return badRequest("missing kind: want %q or %q", KindReliability, KindPower)
+	default:
+		return badRequest("unknown kind %q: want %q or %q", r.Kind, KindReliability, KindPower)
+	}
+	if r.Scale == 0 {
+		r.Scale = 1024
+	}
+	if r.Scale&(r.Scale-1) != 0 {
+		return badRequest("scale %d: must be a power of two", r.Scale)
+	}
+	if _, err := hbm.Scaled(r.Scale); err != nil {
+		return badRequest("scale %d: %v", r.Scale, err)
+	}
+	// Empty slices normalize exactly like absent ones: a "[]" typo must
+	// not validate into a sweep that tests nothing (and then cache that
+	// contentless payload as a success).
+	if len(r.Grid) == 0 {
+		r.Grid = faults.PaperGrid()
+	}
+	if len(r.Grid) > maxGridPoints {
+		return badRequest("grid has %d points: max %d", len(r.Grid), maxGridPoints)
+	}
+	for _, v := range r.Grid {
+		if v < 0.5 || v > 1.5 {
+			return badRequest("grid voltage %v out of [0.5, 1.5]", v)
+		}
+	}
+	if r.Workers < 0 || r.Workers > 256 {
+		return badRequest("workers %d out of [0, 256]", r.Workers)
+	}
+	switch r.Kind {
+	case KindReliability:
+		if len(r.PortCounts) != 0 || r.Samples != 0 {
+			return badRequest("port_counts/samples apply to kind %q only", KindPower)
+		}
+		if r.Batch == 0 {
+			r.Batch = 5
+		}
+		if r.Batch < 0 || r.Batch > maxBatch {
+			return badRequest("batch %d out of [1, %d]", r.Batch, maxBatch)
+		}
+		if len(r.Patterns) == 0 {
+			r.Patterns = []string{"all1", "all0"}
+		}
+		for _, name := range r.Patterns {
+			if _, err := pattern.ByName(name); err != nil {
+				return badRequest("%v", err)
+			}
+		}
+		if len(r.Ports) == 0 {
+			r.Ports = nil
+			for p := 0; p < hbm.MaxPorts; p++ {
+				r.Ports = append(r.Ports, p)
+			}
+		}
+		for _, p := range r.Ports {
+			if p < 0 || p >= hbm.MaxPorts {
+				return badRequest("port %d out of [0, %d)", p, hbm.MaxPorts)
+			}
+		}
+	case KindPower:
+		// Reliability-only fields are rejected, not ignored: a stray
+		// "batch" would otherwise fold into the cache key and fragment
+		// identical power sweeps into distinct entries.
+		if len(r.Patterns) != 0 || len(r.Ports) != 0 || r.Batch != 0 {
+			return badRequest("patterns/ports/batch apply to kind %q only", KindReliability)
+		}
+		if len(r.PortCounts) == 0 {
+			r.PortCounts = []int{0, 8, 16, 24, 32}
+		}
+		for _, n := range r.PortCounts {
+			if n < 0 || n > hbm.MaxPorts {
+				return badRequest("port count %d out of [0, %d]", n, hbm.MaxPorts)
+			}
+		}
+		if r.Samples == 0 {
+			r.Samples = 5
+		}
+		if r.Samples < 0 || r.Samples > 1000 {
+			return badRequest("samples %d out of [1, 1000]", r.Samples)
+		}
+	}
+	return nil
+}
+
+// cacheKey condenses a normalized request into the result-cache key:
+// the fault-model fingerprint the request's board would carry (computed
+// without building the board) mixed with a canonical serialization of
+// every result-affecting field. Workers is zeroed first — parallelism
+// never changes results.
+func (r SweepRequest) cacheKey() (uint64, error) {
+	// board.FaultConfig is the same constructor the job's board.New will
+	// run, so the fingerprint here is exactly the one the board's model
+	// memoizes its analytic rates under.
+	fcfg, err := board.FaultConfig(board.Config{Seed: r.Seed, Scale: r.Scale})
+	if err != nil {
+		return 0, err
+	}
+	fp := fcfg.Fingerprint()
+
+	r.Workers = 0
+	blob, err := report.Marshal(r)
+	if err != nil {
+		return 0, err
+	}
+	h := fnv.New64a()
+	var fpb [8]byte
+	binary.LittleEndian.PutUint64(fpb[:], fp)
+	h.Write(fpb[:])
+	h.Write(blob)
+	return h.Sum64(), nil
+}
+
+// resultEnvelope is the cached result payload: self-describing, free of
+// per-job identifiers and timestamps, so identical requests always
+// yield byte-identical bodies.
+type resultEnvelope struct {
+	Kind string `json:"kind"`
+	// Key is the request's cache key (hex), identifying the request
+	// class the payload answers.
+	Key string `json:"key"`
+	// Request echoes the normalized request (Workers stripped).
+	Request     SweepRequest `json:"request"`
+	Reliability any          `json:"reliability,omitempty"`
+	Power       any          `json:"power,omitempty"`
+}
+
+func formatKey(key uint64) string { return fmt.Sprintf("%016x", key) }

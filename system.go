@@ -225,8 +225,14 @@ func (s *System) RunReliabilitySweep(ctx context.Context, cfg ReliabilityConfig)
 // RunPowerSweep executes the Fig. 2/3 measurement with this system's
 // board.
 func (s *System) RunPowerSweep(cfg PowerSweepConfig) (*PowerSweepResult, error) {
+	return s.RunPowerSweepCtx(context.Background(), cfg)
+}
+
+// RunPowerSweepCtx is RunPowerSweep with context cancellation: a
+// cancelled ctx stops the sweep between measurement points.
+func (s *System) RunPowerSweepCtx(ctx context.Context, cfg PowerSweepConfig) (*PowerSweepResult, error) {
 	cfg.Board = s.Board
-	return core.RunPowerSweep(cfg)
+	return core.RunPowerSweepCtx(ctx, cfg)
 }
 
 // RunECCStudy evaluates SEC-DED mitigation on this device (full
