@@ -1,0 +1,174 @@
+package hbmvolt
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hbmvolt/internal/service"
+)
+
+// TestCampaignFig2MatchesLegacy pins the campaign engine's Fig. 2/3
+// path to the legacy figures.go path byte for byte: the same device
+// configuration rendered through System.RenderFig2/RenderFig3 and
+// through a campaign power scenario's decoded payload must be
+// indistinguishable.
+func TestCampaignFig2MatchesLegacy(t *testing.T) {
+	const scale = 1024
+
+	// Legacy path: a live System (sparse sampler, matching the board the
+	// service builds for the request below).
+	sys, err := New(Config{Scale: scale, SparseFaults: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if _, err := sys.RenderFig2(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RenderFig3(&legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	// Campaign path: the same experiment as a one-scenario spec.
+	spec := CampaignSpec{
+		Name: "fig2-pin",
+		Scenarios: []CampaignScenario{{
+			Name:   "fig2",
+			Kind:   "power",
+			Scales: []uint64{scale},
+			Grid:   DisplayGrid(),
+		}},
+	}
+	res, err := RunCampaign(context.Background(), spec, CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := service.DecodeResult(res.Scenarios[0].Cells[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Power == nil {
+		t.Fatal("power scenario returned no power result")
+	}
+	var viaCampaign bytes.Buffer
+	if err := renderFig2(&viaCampaign, env.Request.Grid, env.Request.PortCounts, env.Power); err != nil {
+		t.Fatal(err)
+	}
+	if err := renderFig3(&viaCampaign, env.Request.Grid, env.Request.PortCounts, env.Power); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(legacy.Bytes(), viaCampaign.Bytes()) {
+		t.Fatalf("campaign Fig. 2/3 output differs from the legacy path:\n--- legacy ---\n%s\n--- campaign ---\n%s",
+			legacy.String(), viaCampaign.String())
+	}
+}
+
+// TestCampaignRenderAnalyticFigures pins the campaign renderers for the
+// analytic scenarios (Figs. 4-6, ECC) to the legacy System renderers.
+func TestCampaignRenderAnalyticFigures(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if _, err := sys.RenderFig4(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RenderFig5(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RenderFig6(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RenderECCStudy(&legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := CampaignSpec{
+		Name: "analytic-pin",
+		Scenarios: []CampaignScenario{
+			{Name: "fmap", Kind: "faultmap"},
+			{Name: "ecc", Kind: "ecc-study"},
+		},
+	}
+	res, err := RunCampaign(context.Background(), spec, CampaignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var viaCampaign bytes.Buffer
+	for _, sr := range res.Scenarios {
+		env, err := service.DecodeResult(sr.Cells[0].Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := renderEnvelope(&viaCampaign, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if !bytes.Equal(legacy.Bytes(), viaCampaign.Bytes()) {
+		t.Fatal("campaign analytic figure output differs from the legacy path")
+	}
+}
+
+// TestCampaignPaperReproSmokeGolden is the golden-regression pin for
+// the whole stack: the built-in paper-repro campaign at smoke scale
+// must reproduce the committed manifest and NDJSON artifacts byte for
+// byte. Regenerate with: go test -run TestCampaignPaperReproSmokeGolden -update .
+func TestCampaignPaperReproSmokeGolden(t *testing.T) {
+	res, err := RunCampaign(context.Background(), PaperReproCampaign(true), CampaignOptions{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := res.WriteArtifacts(dir); err != nil {
+		t.Fatal(err)
+	}
+	goldenDir := filepath.Join("testdata", "campaign", "paper-repro-smoke")
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.RemoveAll(goldenDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range entries {
+		got, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenPath := filepath.Join(goldenDir, e.Name())
+		if *updateGolden {
+			if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from golden; run with -update after verifying the change", e.Name())
+		}
+	}
+	if !*updateGolden {
+		goldens, err := os.ReadDir(goldenDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(goldens) != len(entries) {
+			t.Errorf("campaign wrote %d files, goldens have %d", len(entries), len(goldens))
+		}
+	}
+}

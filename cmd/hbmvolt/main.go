@@ -23,9 +23,14 @@
 //	tradeoff    plan an operating point: -tol and -pcs
 //	info        platform summary (organization, bandwidth, power anchors)
 //	all         fig2..fig6 + ecc + guardband
+//	campaign    execute a declarative experiment campaign (-spec names a
+//	            built-in campaign or a JSON spec file; -out writes the
+//	            manifest and per-scenario NDJSON artifacts; -render
+//	            prints the figure suite from the campaign's payloads)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +54,12 @@ var (
 	flagVolts = flag.Float64("volts", 0, "reliability: single test voltage (0 = full 1.20V→0.81V sweep)")
 	flagExact = flag.Bool("exact", false, "bit-exact per-cell fault sampling instead of sparse enumeration (slow at full scale; pair with -scale)")
 	flagJ     = flag.Int("j", runtime.GOMAXPROCS(0), "reliability: sweep workers — voltage points are sharded across this many board clones; results are bit-identical at any count (1 = sequential)")
+
+	flagSpec   = flag.String("spec", "paper-repro", "campaign: built-in campaign name or spec file path")
+	flagSmoke  = flag.Bool("smoke", false, "campaign: select a built-in campaign's smoke-scale variant")
+	flagOut    = flag.String("out", "", "campaign: write manifest.json and per-scenario NDJSON artifacts to this directory")
+	flagJobs   = flag.Int("jobs", 2, "campaign: sweeps executing concurrently")
+	flagRender = flag.Bool("render", false, "campaign: also print the human-readable figure suite from the campaign's payloads")
 )
 
 func main() {
@@ -94,6 +105,9 @@ func validateFlags() error {
 	if *flagJ < 1 {
 		return fmt.Errorf("-j %d: must be >= 1", *flagJ)
 	}
+	if *flagJobs < 1 {
+		return fmt.Errorf("-jobs %d: must be >= 1", *flagJobs)
+	}
 	if *flagNoise < 0 {
 		return fmt.Errorf("-noise %v: must be >= 0", *flagNoise)
 	}
@@ -101,7 +115,7 @@ func validateFlags() error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hbmvolt [flags] <fig2|fig3|fig4|fig5|fig6|ecc|temp|capacity|bandwidth|guardband|reliability|tradeoff|info|all>\n\n")
+	fmt.Fprintf(os.Stderr, "usage: hbmvolt [flags] <fig2|fig3|fig4|fig5|fig6|ecc|temp|capacity|bandwidth|guardband|reliability|tradeoff|info|all|campaign>\n\n")
 	flag.PrintDefaults()
 }
 
@@ -115,6 +129,10 @@ func newSystem() (*hbmvolt.System, error) {
 }
 
 func run(cmd string) error {
+	if cmd == "campaign" {
+		// Campaigns build their own boards per cell; no ambient System.
+		return runCampaign()
+	}
 	sys, err := newSystem()
 	if err != nil {
 		return err
@@ -179,6 +197,52 @@ func run(cmd string) error {
 	}
 }
 
+// runCampaign executes the campaign subcommand: resolve the spec, run
+// it through the engine, write artifacts (-out), print the manifest
+// summary, and optionally render the figure suite (-render).
+func runCampaign() error {
+	spec, err := hbmvolt.LoadCampaignSpec(*flagSpec, *flagSmoke)
+	if err != nil {
+		return err
+	}
+	res, err := hbmvolt.RunCampaign(context.Background(), spec, hbmvolt.CampaignOptions{
+		Jobs:  *flagJobs,
+		Fleet: *flagJ,
+		OnCell: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rcampaign %s: %d/%d cells   ", spec.Name, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if *flagOut != "" {
+		if err := res.WriteArtifacts(*flagOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *flagOut)
+	}
+	m := res.Manifest
+	fmt.Printf("campaign %s: %d cells (%d unique sweeps), %d scenarios\n",
+		m.Campaign, m.Cells, m.UniqueSweeps, len(m.Scenarios))
+	tbl := report.NewTable("scenario", "kind", "cell", "key", "bytes", "sha256")
+	for _, sm := range m.Scenarios {
+		for _, cm := range sm.Cells {
+			tbl.AddRow(sm.Name, sm.Kind, fmt.Sprintf("%d", cm.Index), cm.Key,
+				fmt.Sprintf("%d", cm.Bytes), cm.SHA256[:12])
+		}
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	if *flagRender {
+		return hbmvolt.RenderCampaignResult(os.Stdout, res)
+	}
+	return nil
+}
+
 // maybeWrite runs the export if its destination flag (-csv or -json)
 // was set.
 func maybeWrite(path string, write func(io.Writer) error) error {
@@ -240,8 +304,8 @@ func runReliability(sys *hbmvolt.System) error {
 		// Port-level parallelism takes over where point-level sharding
 		// cannot: a single worker, or a single-voltage run whose one grid
 		// point would otherwise pin one core.
-		Parallel:  *flagJ <= 1 || *flagVolts != 0,
-		OnPoint:   progressLine(),
+		Parallel: *flagJ <= 1 || *flagVolts != 0,
+		OnPoint:  progressLine(),
 	})
 	if err != nil {
 		return err

@@ -233,3 +233,65 @@ func TestGridAround(t *testing.T) {
 		t.Fatalf("grid endpoints %v..%v", g[0], g[5])
 	}
 }
+
+// TestCampaignCommand runs the campaign subcommand end to end on a
+// small spec file: artifacts land in -out, rerunning reproduces them
+// byte for byte, and -render prints the figure suite from the payloads.
+func TestCampaignCommand(t *testing.T) {
+	silenceStdout(t)
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "spec.json")
+	spec := `{
+		"name": "cli-test",
+		"scenarios": [
+			{"name": "rel", "kind": "reliability", "grid": [0.90, 0.89],
+			 "ports": [18], "batch": 2},
+			{"name": "ecc", "kind": "ecc-study", "grid": [0.95, 0.90]}
+		]
+	}`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out1 := filepath.Join(dir, "out1")
+	setFlag(t, flagSpec, specPath)
+	setFlag(t, flagOut, out1)
+	setFlag(t, flagJobs, 2)
+	setFlag(t, flagRender, true)
+	if err := run("campaign"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"manifest.json", "rel.ndjson", "ecc.ndjson"} {
+		if _, err := os.Stat(filepath.Join(out1, name)); err != nil {
+			t.Fatalf("missing artifact: %v", err)
+		}
+	}
+
+	out2 := filepath.Join(dir, "out2")
+	setFlag(t, flagOut, out2)
+	setFlag(t, flagJ, 8)
+	if err := run("campaign"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"manifest.json", "rel.ndjson", "ecc.ndjson"} {
+		a, err := os.ReadFile(filepath.Join(out1, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := os.ReadFile(filepath.Join(out2, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s differs across runs", name)
+		}
+	}
+}
+
+// TestCampaignBadSpec covers the unknown-spec error path.
+func TestCampaignBadSpec(t *testing.T) {
+	silenceStdout(t)
+	setFlag(t, flagSpec, "no-such-campaign")
+	if err := run("campaign"); err == nil {
+		t.Fatal("unknown campaign accepted")
+	}
+}

@@ -15,9 +15,18 @@
 //	DELETE /v1/sweeps/{id}        cancel
 //	GET    /healthz               liveness + statistics
 //
-// Identical requests — concurrent or repeated — coalesce into a single
-// computation and return bit-identical payloads; see the cache-key and
-// determinism contract in internal/service.
+// Campaign routes (see internal/campaign) fan declarative multi-
+// scenario experiment specs into the same job manager:
+//
+//	POST   /v1/campaigns          submit a spec or {"builtin":"paper-repro"}
+//	GET    /v1/campaigns          list campaign runs
+//	GET    /v1/campaigns/{id}     status (+ manifest when done)
+//	DELETE /v1/campaigns/{id}     cancel remaining cells
+//
+// Identical requests — concurrent or repeated, standalone or inside a
+// campaign — coalesce into a single computation and return
+// bit-identical payloads; see the cache-key and determinism contract in
+// internal/service.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"hbmvolt/internal/campaign"
 	"hbmvolt/internal/service"
 )
 
@@ -66,9 +76,15 @@ func run() error {
 	})
 	defer srv.Close()
 
+	// Campaign routes share the sweep manager: campaign cells and ad-hoc
+	// sweeps coalesce in one queue and result cache.
+	mux := http.NewServeMux()
+	campaign.NewAPI(srv.Manager()).Register(mux)
+	mux.Handle("/", srv)
+
 	httpSrv := &http.Server{
 		Addr:              *flagAddr,
-		Handler:           srv,
+		Handler:           mux,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,35 +1,48 @@
-// Powersweep regenerates the paper's Fig. 2 and Fig. 3 measurements and
-// writes them as CSV for external plotting, demonstrating the
-// measurement loop a real host would run over PMBus + INA226.
+// Powersweep regenerates the paper's Fig. 2 and Fig. 3 measurements —
+// expressed as a declarative campaign spec instead of hand-wired sweep
+// plumbing — and writes the data as CSV for external plotting. The
+// campaign engine normalizes the scenario into a sweep request, runs it
+// through the service-layer job manager (so an identical sweep
+// elsewhere in the process would coalesce onto this computation), and
+// returns the byte-stable result envelope this program decodes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"hbmvolt"
+	"hbmvolt/internal/service"
 )
 
 func main() {
-	sys, err := hbmvolt.New(hbmvolt.Config{
-		Scale:      256,
-		NoiseSigma: 0.005, // realistic monitor noise
-	})
+	// The whole experiment is data: one power scenario at full 10 mV
+	// resolution, all five bandwidth points, with realistic monitor
+	// noise — like the real measurement loop over PMBus + INA226.
+	spec := hbmvolt.CampaignSpec{
+		Name:        "powersweep-example",
+		Description: "Fig. 2/3 power sweep at 10 mV resolution with monitor noise",
+		Scenarios: []hbmvolt.CampaignScenario{{
+			Name:    "fig2-fig3",
+			Kind:    "power",
+			Grid:    hbmvolt.PaperGrid(),
+			Noise:   []float64{0.005},
+			Samples: 10,
+		}},
+	}
+
+	res, err := hbmvolt.RunCampaign(context.Background(), spec, hbmvolt.CampaignOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Full 10 mV resolution, all five bandwidth points, like the real
-	// experiment (the figures in the paper display every 50 mV).
-	res, err := sys.RunPowerSweep(hbmvolt.PowerSweepConfig{
-		Grid:       hbmvolt.PaperGrid(),
-		PortCounts: []int{0, 8, 16, 24, 32},
-		Samples:    10,
-	})
+	env, err := service.DecodeResult(res.Scenarios[0].Cells[0].Payload)
 	if err != nil {
 		log.Fatal(err)
 	}
+	sweep := env.Power
 
 	const path = "fig2_fig3.csv"
 	f, err := os.Create(path)
@@ -37,20 +50,22 @@ func main() {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	if err := sys.WriteFig2CSV(f, res); err != nil {
+	if err := hbmvolt.WriteFig2CSV(f, sweep); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s (%d points)\n", path, len(res.Points))
+	fmt.Printf("wrote %s (%d points)\n", path, len(sweep.Points))
 
 	// Headline numbers.
 	for _, v := range []float64{0.98, 0.85} {
-		s, err := res.SavingsAt(v, 32)
+		s, err := sweep.SavingsAt(v, 32)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("savings at %.2fV: %.2fx\n", v, s)
 	}
-	pt := res.At(0.85, 32)
+	pt := sweep.At(0.85, 32)
 	fmt.Printf("alpha*CL*f at 0.85V: %.3f of nominal (stuck cells stop switching)\n",
 		pt.NormAlphaCLF)
+	fmt.Printf("campaign key %s — resubmitting this spec anywhere returns these exact bytes\n",
+		res.Manifest.Scenarios[0].Cells[0].Key)
 }

@@ -1,0 +1,55 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkCampaignExpand measures spec normalization plus cross-product
+// expansion of the built-in paper-repro campaign — the pure declarative
+// overhead a campaign adds before any sweep runs.
+func BenchmarkCampaignExpand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		spec := PaperRepro(true)
+		if err := spec.Normalize(); err != nil {
+			b.Fatal(err)
+		}
+		cells, err := spec.Expand()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+// BenchmarkCampaignRun measures end-to-end campaign execution of a
+// small mixed campaign (reliability + analytic scenarios) on a private
+// manager, including manifest assembly.
+func BenchmarkCampaignRun(b *testing.B) {
+	spec := Spec{
+		Name: "bench",
+		Scenarios: []Scenario{
+			{
+				Name:  "rel",
+				Kind:  "reliability",
+				Grid:  []float64{0.90, 0.89},
+				Ports: []int{18},
+				Batch: 2,
+			},
+			{Name: "ecc", Kind: "ecc-study", Grid: []float64{0.95, 0.90}},
+		},
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(ctx, spec, Options{Jobs: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Manifest.Cells != 2 {
+			b.Fatalf("cells = %d", res.Manifest.Cells)
+		}
+	}
+}

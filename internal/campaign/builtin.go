@@ -1,0 +1,99 @@
+package campaign
+
+import (
+	"fmt"
+
+	"hbmvolt/internal/faults"
+)
+
+// PaperRepro returns the built-in campaign that regenerates the paper's
+// full result family: the Fig. 2/3 power sweep, the Fig. 4/5/6 fault
+// atlas, the SEC-DED mitigation ablation, and an Algorithm 1
+// reliability sweep.
+//
+// With smoke set, the Monte-Carlo scenarios run on the 1/1024-scale
+// board with a small batch — seconds of compute, byte-stable output —
+// which is what the CI golden-regression gate pins: the full ladder
+// under sparse enumeration, plus a subset scenario re-testing the edge
+// of the safe region with the bit-exact sampler. The full campaign runs
+// Algorithm 1 at the complete 8 GB scale with sparse enumeration.
+func PaperRepro(smoke bool) Spec {
+	scenarios := []Scenario{
+		{
+			Name: "fig2-power",
+			Kind: "power",
+			Grid: faults.DisplayGrid(),
+		},
+		{
+			Name: "faultmap",
+			Kind: "faultmap",
+		},
+		{
+			Name: "ecc-mitigation",
+			Kind: "ecc-study",
+		},
+	}
+	if smoke {
+		scenarios = append(scenarios,
+			Scenario{
+				Name:   "algorithm1",
+				Kind:   "reliability",
+				Scales: []uint64{1024},
+				Batch:  2,
+				Repeat: 2,
+			},
+			Scenario{
+				Name:        "algorithm1-exact",
+				Kind:        "reliability",
+				Scales:      []uint64{1024},
+				Modes:       []string{"exact"},
+				Grid:        []float64{0.93, 0.90, 0.87},
+				Ports:       []int{5, 18},
+				PatternSets: [][]string{{"all1"}, {"all0"}},
+				Batch:       2,
+			},
+		)
+	} else {
+		scenarios = append(scenarios, Scenario{
+			Name:   "algorithm1",
+			Kind:   "reliability",
+			Scales: []uint64{1},
+			Batch:  5,
+		})
+	}
+	return Spec{
+		Name:        "paper-repro",
+		Description: "DATE 2021 HBM undervolting result family: power sweep (Figs. 2-3), fault atlas (Figs. 4-6), SEC-DED ablation, Algorithm 1 reliability",
+		Scenarios:   scenarios,
+	}
+}
+
+// Builtin resolves a built-in campaign by name. Unknown names return an
+// error listing what exists.
+func Builtin(name string, smoke bool) (Spec, error) {
+	switch name {
+	case "paper-repro":
+		return PaperRepro(smoke), nil
+	default:
+		return Spec{}, badSpec("unknown built-in campaign %q (have %q)", name, BuiltinNames())
+	}
+}
+
+// BuiltinNames lists the built-in campaign names.
+func BuiltinNames() []string { return []string{"paper-repro"} }
+
+// LoadOrBuiltin resolves specArg as a built-in campaign name first,
+// then as a spec file path — the CLI's lookup rule.
+func LoadOrBuiltin(specArg string, smoke bool) (Spec, error) {
+	for _, n := range BuiltinNames() {
+		if specArg == n {
+			return Builtin(specArg, smoke)
+		}
+	}
+	spec, err := Load(specArg)
+	if err != nil {
+		return Spec{}, fmt.Errorf("campaign spec %q is neither a built-in (%q) nor a readable spec file: %w",
+			specArg, BuiltinNames(), err)
+	}
+	return spec, nil
+}

@@ -13,6 +13,55 @@ import (
 // sweeps, as cell-fault fractions (1e-6 = the paper's "0.0001%").
 var Fig6Tolerances = []float64{0, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2}
 
+// FaultMapStudy bundles the paper's spatial fault analysis — the
+// per-stack fault-fraction curves (Fig. 4), the per-PC fault atlas for
+// both flip classes (Fig. 5), and the usable-PC family (Fig. 6) — into
+// one serializable result, so the campaign engine and the sweep service
+// can treat "faultmap" as a single scenario kind.
+type FaultMapStudy struct {
+	// Grid is the voltage ladder of the Fig. 4 curves and Fig. 6 series.
+	Grid []float64
+	// Curves are the per-stack faulty-fraction curves (Fig. 4).
+	Curves []StackCurve
+	// Fig5 holds the per-PC atlas per flip class: OneToZero (the all-1s
+	// test) then ZeroToOne (all-0s), over Fig. 5's unsafe-region grid.
+	Fig5 []*Fig5Table
+	// Tolerances and Usable are the Fig. 6 curve family: Usable[t][i] is
+	// the usable-PC count at Tolerances[t] and Grid[i].
+	Tolerances []float64
+	Usable     [][]int
+}
+
+// RunFaultMapStudy computes the study analytically over grid (nil = the
+// paper's grid). Every rate comes from the model's memoized atlas, so
+// the three figures share one analytic pass per (voltage, flip-kind).
+func RunFaultMapStudy(fm *faults.Model, grid []float64) (*FaultMapStudy, error) {
+	if fm == nil {
+		return nil, errors.New("core: fault model is nil")
+	}
+	if grid == nil {
+		grid = faults.PaperGrid()
+	}
+	curves, err := Fig4Curves(fm, grid)
+	if err != nil {
+		return nil, err
+	}
+	study := &FaultMapStudy{Grid: grid, Curves: curves, Tolerances: Fig6Tolerances}
+	for _, kind := range []faults.FlipKind{faults.OneToZero, faults.ZeroToOne} {
+		tbl, err := BuildFig5Table(fm, nil, kind)
+		if err != nil {
+			return nil, err
+		}
+		study.Fig5 = append(study.Fig5, tbl)
+	}
+	fmap, err := NewFaultMap(fm, nil, grid)
+	if err != nil {
+		return nil, err
+	}
+	study.Usable = fmap.UsableSeries(nil)
+	return study, nil
+}
+
 // FaultMap is the per-PC × voltage fault atlas of §III-C: the practical
 // information an application developer needs to trade power against
 // capacity and fault rate. Every rate it serves comes from the model's

@@ -224,3 +224,15 @@ func VoltageGrid(hi, lo float64) []float64 {
 // PaperGrid returns the full characterization grid, 1.20 V down to
 // 0.81 V.
 func PaperGrid() []float64 { return VoltageGrid(VNom, VCritical) }
+
+// DisplayGrid returns the paper's figure display grid: PaperGrid
+// filtered to 50 mV steps, the resolution Figs. 2-4 plot at.
+func DisplayGrid() []float64 {
+	var out []float64
+	for _, v := range PaperGrid() {
+		if int(v*1000+0.5)%50 == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -9,6 +9,7 @@ import (
 
 	"hbmvolt/internal/board"
 	"hbmvolt/internal/core"
+	"hbmvolt/internal/faults"
 	"hbmvolt/internal/hbm"
 	"hbmvolt/internal/pattern"
 	"hbmvolt/internal/report"
@@ -161,6 +162,32 @@ func (j *Job) State() JobState {
 	return j.state
 }
 
+// Wait blocks until the job reaches a terminal state (returned) or ctx
+// is cancelled (the current non-terminal state and ctx's error are
+// returned). It does not cancel the job.
+func (j *Job) Wait(ctx context.Context) (JobState, error) {
+	for {
+		j.mu.Lock()
+		st, changed := j.state, j.changed
+		j.mu.Unlock()
+		if st.terminal() {
+			return st, nil
+		}
+		select {
+		case <-changed:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Err returns the failure reason of a failed job ("" otherwise).
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
 // JobStatus is the GET /v1/sweeps/{id} body (result excluded).
 type JobStatus struct {
 	ID    string   `json:"id"`
@@ -289,10 +316,10 @@ func (m *Manager) Close() {
 // the request coalesced onto an existing job and whether it was
 // answered from the result cache without queueing any work.
 func (m *Manager) Submit(req SweepRequest) (job *Job, coalesced, cacheHit bool, err error) {
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		return nil, false, false, err
 	}
-	key, err := req.cacheKey()
+	key, err := req.CacheKey()
 	if err != nil {
 		return nil, false, false, badRequest("%v", err)
 	}
@@ -498,25 +525,56 @@ func (m *Manager) runJob(j *Job) {
 	}
 }
 
-// executeSweep is the real sweep path: build the request's board, run
-// the configured sweep through internal/core with progress events, and
+// executeSweep is the real sweep path: build the request's board (or,
+// for the analytic kinds, its full-capacity fault model), run the
+// configured study through internal/core with progress events, and
 // marshal the deterministic payload.
 func (m *Manager) executeSweep(ctx context.Context, j *Job) ([]byte, error) {
 	req := j.Req
+	onPoint := func(p core.SweepProgress) {
+		j.appendEvent(Event{Type: "progress", SweepProgress: p})
+	}
+	env := Envelope{Kind: req.Kind, Key: formatKey(j.Key)}
+	env.Request = req
+	env.Request.Workers = 0
+
+	// The analytic kinds need no board — just the device's fault model
+	// at full geometry, the same construction System's atlas uses.
+	if req.Kind == KindFaultMap || req.Kind == KindECCStudy {
+		fcfg, err := board.FaultConfig(board.Config{Seed: req.Seed, Scale: req.Scale})
+		if err != nil {
+			return nil, err
+		}
+		fm, err := faults.New(fcfg)
+		if err != nil {
+			return nil, err
+		}
+		switch req.Kind {
+		case KindFaultMap:
+			study, err := core.RunFaultMapStudy(fm, req.Grid)
+			if err != nil {
+				return nil, err
+			}
+			env.FaultMap = study
+		case KindECCStudy:
+			study, err := core.RunECCStudy(fm, req.Grid)
+			if err != nil {
+				return nil, err
+			}
+			env.ECC = study
+		}
+		return report.Marshal(env)
+	}
+
 	b, err := board.New(board.Config{
 		Seed:         req.Seed,
 		Scale:        req.Scale,
+		NoiseSigma:   req.Noise,
 		SparseFaults: !req.Exact,
 	})
 	if err != nil {
 		return nil, err
 	}
-	onPoint := func(p core.SweepProgress) {
-		j.appendEvent(Event{Type: "progress", SweepProgress: p})
-	}
-	env := resultEnvelope{Kind: req.Kind, Key: formatKey(j.Key)}
-	env.Request = req
-	env.Request.Workers = 0
 
 	switch req.Kind {
 	case KindReliability:

@@ -44,7 +44,10 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as a deterministic JSON response body — the
+// serialization every route of this service (and the campaign API on
+// top of it) shares.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	body, err := report.Marshal(v)
 	if err != nil {
 		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
@@ -55,8 +58,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(body)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+// WriteError writes the service's standard {"error": ...} body.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
 }
 
 // maxRequestBody bounds POST bodies; a maximal legitimate request (512
@@ -80,7 +84,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		WriteError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
 	j, coalesced, cacheHit, err := s.mgr.Submit(req)
@@ -88,12 +92,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var reqErr *RequestError
 		switch {
 		case errors.As(err, &reqErr):
-			writeError(w, http.StatusBadRequest, "%v", err)
+			WriteError(w, http.StatusBadRequest, "%v", err)
 		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			WriteError(w, http.StatusServiceUnavailable, "%v", err)
 		default:
-			writeError(w, http.StatusInternalServerError, "%v", err)
+			WriteError(w, http.StatusInternalServerError, "%v", err)
 		}
 		return
 	}
@@ -101,7 +105,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if coalesced || cacheHit {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, SubmitResponse{
+	WriteJSON(w, status, SubmitResponse{
 		ID:        j.ID,
 		Key:       formatKey(j.Key),
 		State:     j.State(),
@@ -114,7 +118,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	id := r.PathValue("id")
 	j, ok := s.mgr.Job(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		WriteError(w, http.StatusNotFound, "no sweep %q", id)
 		return nil, false
 	}
 	return j, true
@@ -132,7 +136,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, statusBody{JobStatus: j.Snapshot(), Result: j.Payload()})
+	WriteJSON(w, http.StatusOK, statusBody{JobStatus: j.Snapshot(), Result: j.Payload()})
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -142,7 +146,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	st := j.Snapshot()
 	if st.State != StateDone {
-		writeError(w, http.StatusConflict, "sweep %s is %s, not done", j.ID, st.State)
+		WriteError(w, http.StatusConflict, "sweep %s is %s, not done", j.ID, st.State)
 		return
 	}
 	// The payload is served verbatim: identical requests get
@@ -197,10 +201,10 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := s.mgr.Cancel(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no sweep %q", id)
+		WriteError(w, http.StatusNotFound, "no sweep %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.Snapshot())
+	WriteJSON(w, http.StatusOK, j.Snapshot())
 }
 
 // Health is the GET /healthz body.
@@ -210,5 +214,5 @@ type Health struct {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{Status: "ok", Stats: s.mgr.Stats()})
+	WriteJSON(w, http.StatusOK, Health{Status: "ok", Stats: s.mgr.Stats()})
 }

@@ -4,7 +4,8 @@
 //
 // The API is JSON over HTTP:
 //
-//	POST   /v1/sweeps             submit a reliability or power sweep
+//	POST   /v1/sweeps             submit a sweep (reliability | power |
+//	                              faultmap | ecc-study)
 //	GET    /v1/sweeps/{id}        job status (+ result when done)
 //	GET    /v1/sweeps/{id}/result raw result payload, byte-stable
 //	GET    /v1/sweeps/{id}/events NDJSON stream of SweepProgress events
@@ -32,26 +33,39 @@ package service
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 
 	"hbmvolt/internal/board"
+	"hbmvolt/internal/core"
 	"hbmvolt/internal/faults"
 	"hbmvolt/internal/hbm"
 	"hbmvolt/internal/pattern"
 	"hbmvolt/internal/report"
 )
 
-// Sweep kinds.
+// Sweep kinds. Reliability and power are Monte-Carlo/measurement sweeps
+// over a board instance; faultmap and ecc-study are analytic studies of
+// the full-capacity device (the Fig. 4/5/6 atlas and the SEC-DED
+// mitigation ablation).
 const (
 	KindReliability = "reliability"
 	KindPower       = "power"
+	KindFaultMap    = "faultmap"
+	KindECCStudy    = "ecc-study"
 )
+
+// Kinds lists every sweep kind the service executes, in documentation
+// order.
+var Kinds = []string{KindReliability, KindPower, KindFaultMap, KindECCStudy}
 
 // SweepRequest is the POST /v1/sweeps body. The zero value of every
 // optional field selects the paper's methodology default.
 type SweepRequest struct {
-	// Kind is "reliability" (Algorithm 1) or "power" (Fig. 2/3).
+	// Kind is "reliability" (Algorithm 1), "power" (Fig. 2/3),
+	// "faultmap" (the Fig. 4/5/6 atlas) or "ecc-study" (SEC-DED
+	// ablation).
 	Kind string `json:"kind"`
 	// Seed selects the device instance (0 = the calibrated paper board).
 	Seed uint64 `json:"seed,omitempty"`
@@ -76,6 +90,10 @@ type SweepRequest struct {
 	PortCounts []int `json:"port_counts,omitempty"`
 	// Samples is the power sweep's averaged monitor reads per point (0 → 5).
 	Samples int `json:"samples,omitempty"`
+	// Noise is the relative measurement noise of the monitor chain
+	// (power sweeps only; 0 = exact). Noise draws are keyed on the seed
+	// and sample counter, so noisy sweeps stay deterministic.
+	Noise float64 `json:"noise,omitempty"`
 	// Workers is the board-fleet size for sharded reliability sweeps
 	// (0 → the server default). A parallelism hint only: results are
 	// bit-identical at every worker count, so Workers is excluded from
@@ -101,16 +119,24 @@ const maxGridPoints = 512
 // 130).
 const maxBatch = 1 << 12
 
-// normalize fills methodology defaults in place and validates every
+// Normalize fills methodology defaults in place and validates every
 // field, so that two requests meaning the same sweep become structurally
 // identical before keying. Violations return a *RequestError (HTTP 400).
-func (r *SweepRequest) normalize() error {
+func (r *SweepRequest) Normalize() error {
 	switch r.Kind {
-	case KindReliability, KindPower:
+	case KindReliability, KindPower, KindFaultMap, KindECCStudy:
 	case "":
-		return badRequest("missing kind: want %q or %q", KindReliability, KindPower)
+		return badRequest("missing kind: want one of %q", Kinds)
 	default:
-		return badRequest("unknown kind %q: want %q or %q", r.Kind, KindReliability, KindPower)
+		return badRequest("unknown kind %q: want one of %q", r.Kind, Kinds)
+	}
+	if r.Kind == KindFaultMap || r.Kind == KindECCStudy {
+		// The analytic studies always describe the full-capacity device;
+		// a scale would fragment the cache without changing the result.
+		if r.Scale > 1 {
+			return badRequest("scale applies to kind %q or %q only", KindReliability, KindPower)
+		}
+		r.Scale = 1
 	}
 	if r.Scale == 0 {
 		r.Scale = 1024
@@ -137,6 +163,12 @@ func (r *SweepRequest) normalize() error {
 	}
 	if r.Workers < 0 || r.Workers > 256 {
 		return badRequest("workers %d out of [0, 256]", r.Workers)
+	}
+	if r.Noise != 0 && r.Kind != KindPower {
+		return badRequest("noise applies to kind %q only", KindPower)
+	}
+	if r.Noise < 0 || r.Noise > 0.5 {
+		return badRequest("noise %v out of [0, 0.5]", r.Noise)
 	}
 	switch r.Kind {
 	case KindReliability:
@@ -170,10 +202,11 @@ func (r *SweepRequest) normalize() error {
 		}
 	case KindPower:
 		// Reliability-only fields are rejected, not ignored: a stray
-		// "batch" would otherwise fold into the cache key and fragment
-		// identical power sweeps into distinct entries.
-		if len(r.Patterns) != 0 || len(r.Ports) != 0 || r.Batch != 0 {
-			return badRequest("patterns/ports/batch apply to kind %q only", KindReliability)
+		// "batch" (or an "exact" that cannot change a power measurement)
+		// would otherwise fold into the cache key and fragment identical
+		// power sweeps into distinct entries.
+		if len(r.Patterns) != 0 || len(r.Ports) != 0 || r.Batch != 0 || r.Exact {
+			return badRequest("patterns/ports/batch/exact apply to kind %q only", KindReliability)
 		}
 		if len(r.PortCounts) == 0 {
 			r.PortCounts = []int{0, 8, 16, 24, 32}
@@ -189,16 +222,24 @@ func (r *SweepRequest) normalize() error {
 		if r.Samples < 0 || r.Samples > 1000 {
 			return badRequest("samples %d out of [1, 1000]", r.Samples)
 		}
+	case KindFaultMap, KindECCStudy:
+		// Only the device instance and the voltage grid parameterize the
+		// analytic studies; every Monte-Carlo knob is rejected, not
+		// ignored, so a stray field can't fragment the cache.
+		if len(r.Patterns) != 0 || len(r.Ports) != 0 || r.Batch != 0 ||
+			len(r.PortCounts) != 0 || r.Samples != 0 || r.Exact {
+			return badRequest("patterns/ports/batch/port_counts/samples/exact do not apply to kind %q", r.Kind)
+		}
 	}
 	return nil
 }
 
-// cacheKey condenses a normalized request into the result-cache key:
+// CacheKey condenses a normalized request into the result-cache key:
 // the fault-model fingerprint the request's board would carry (computed
 // without building the board) mixed with a canonical serialization of
 // every result-affecting field. Workers is zeroed first — parallelism
 // never changes results.
-func (r SweepRequest) cacheKey() (uint64, error) {
+func (r SweepRequest) CacheKey() (uint64, error) {
 	// board.FaultConfig is the same constructor the job's board.New will
 	// run, so the fingerprint here is exactly the one the board's model
 	// memoizes its analytic rates under.
@@ -221,18 +262,34 @@ func (r SweepRequest) cacheKey() (uint64, error) {
 	return h.Sum64(), nil
 }
 
-// resultEnvelope is the cached result payload: self-describing, free of
+// Envelope is the cached result payload: self-describing, free of
 // per-job identifiers and timestamps, so identical requests always
-// yield byte-identical bodies.
-type resultEnvelope struct {
+// yield byte-identical bodies. Exactly one result field is set,
+// matching Kind.
+type Envelope struct {
 	Kind string `json:"kind"`
 	// Key is the request's cache key (hex), identifying the request
 	// class the payload answers.
 	Key string `json:"key"`
 	// Request echoes the normalized request (Workers stripped).
-	Request     SweepRequest `json:"request"`
-	Reliability any          `json:"reliability,omitempty"`
-	Power       any          `json:"power,omitempty"`
+	Request     SweepRequest            `json:"request"`
+	Reliability *core.ReliabilityResult `json:"reliability,omitempty"`
+	Power       *core.PowerSweepResult  `json:"power,omitempty"`
+	FaultMap    *core.FaultMapStudy     `json:"faultmap,omitempty"`
+	ECC         *core.ECCStudy          `json:"ecc,omitempty"`
 }
 
-func formatKey(key uint64) string { return fmt.Sprintf("%016x", key) }
+// DecodeResult parses a result payload (the /v1/sweeps/{id}/result
+// body) back into its typed envelope.
+func DecodeResult(payload []byte) (*Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return nil, fmt.Errorf("service: decoding result payload: %w", err)
+	}
+	return &env, nil
+}
+
+// FormatKey renders a cache key the way the API does (16 hex digits).
+func FormatKey(key uint64) string { return fmt.Sprintf("%016x", key) }
+
+func formatKey(key uint64) string { return FormatKey(key) }

@@ -212,8 +212,8 @@ func TestRepeatServedFromCache(t *testing.T) {
 // blockingRunner replaces the sweep path with one that signals when it
 // starts, then blocks until cancelled or released.
 type blockingRunner struct {
-	started chan string        // job IDs, in start order
-	release chan struct{}      // close to let runs complete
+	started chan string   // job IDs, in start order
+	release chan struct{} // close to let runs complete
 	payload func(j *Job) []byte
 }
 
@@ -448,7 +448,13 @@ func TestMalformedRequests(t *testing.T) {
 		"grid out of range":   `{"kind":"reliability","grid":[9.9]}`,
 		"power with patterns": `{"kind":"power","patterns":["all1"]}`,
 		"power with batch":    `{"kind":"power","batch":7}`,
+		"power with exact":    `{"kind":"power","exact":true}`,
 		"negative batch":      `{"kind":"reliability","batch":-1}`,
+		"noise on rel":        `{"kind":"reliability","noise":0.01}`,
+		"noise out of range":  `{"kind":"power","noise":0.9}`,
+		"faultmap with batch": `{"kind":"faultmap","batch":2}`,
+		"faultmap with scale": `{"kind":"faultmap","scale":1024}`,
+		"ecc with exact":      `{"kind":"ecc-study","exact":true}`,
 	}
 	for name, body := range badBodies {
 		if code := post(body); code != http.StatusBadRequest {
@@ -459,7 +465,10 @@ func TestMalformedRequests(t *testing.T) {
 		t.Fatalf("malformed requests created jobs: %+v", got)
 	}
 
-	for _, req := range []struct{ method, path string; want int }{
+	for _, req := range []struct {
+		method, path string
+		want         int
+	}{
 		{http.MethodGet, "/v1/sweeps/nope", http.StatusNotFound},
 		{http.MethodGet, "/v1/sweeps/nope/result", http.StatusNotFound},
 		{http.MethodGet, "/v1/sweeps/nope/events", http.StatusNotFound},
@@ -551,10 +560,10 @@ func TestCacheLRUEviction(t *testing.T) {
 // must change the key.
 func TestCacheKeyNormalization(t *testing.T) {
 	base := SweepRequest{Kind: KindReliability}
-	if err := base.normalize(); err != nil {
+	if err := base.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	baseKey, err := base.cacheKey()
+	baseKey, err := base.CacheKey()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -565,10 +574,10 @@ func TestCacheKeyNormalization(t *testing.T) {
 		Batch:    5,
 		Patterns: []string{"all1", "all0"},
 	}
-	if err := explicit.normalize(); err != nil {
+	if err := explicit.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	k, err := explicit.cacheKey()
+	k, err := explicit.CacheKey()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -579,10 +588,10 @@ func TestCacheKeyNormalization(t *testing.T) {
 	// Explicitly empty slices normalize like absent ones — "[]" must not
 	// become a sweep that tests nothing.
 	empty := SweepRequest{Kind: KindReliability, Grid: []float64{}, Patterns: []string{}, Ports: []int{}}
-	if err := empty.normalize(); err != nil {
+	if err := empty.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	ek, err := empty.cacheKey()
+	ek, err := empty.CacheKey()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -607,10 +616,10 @@ func TestCacheKeyNormalization(t *testing.T) {
 	for i, mutate := range variants {
 		r := SweepRequest{Kind: KindReliability}
 		mutate(&r)
-		if err := r.normalize(); err != nil {
+		if err := r.Normalize(); err != nil {
 			t.Fatalf("variant %d: %v", i, err)
 		}
-		k, err := r.cacheKey()
+		k, err := r.CacheKey()
 		if err != nil {
 			t.Fatalf("variant %d: %v", i, err)
 		}
@@ -622,14 +631,115 @@ func TestCacheKeyNormalization(t *testing.T) {
 
 	// Workers must NOT change the key.
 	w := SweepRequest{Kind: KindReliability, Workers: 9}
-	if err := w.normalize(); err != nil {
+	if err := w.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	wk, err := w.cacheKey()
+	wk, err := w.CacheKey()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if wk != baseKey {
 		t.Fatal("Workers hint changed the cache key")
+	}
+}
+
+// TestAnalyticKinds runs the faultmap and ecc-study kinds end to end
+// over HTTP: both are analytic studies of the full-capacity device, so
+// the payloads decode into complete typed results and repeats are
+// byte-identical cache hits.
+func TestAnalyticKinds(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	for _, kind := range []string{KindFaultMap, KindECCStudy} {
+		req := SweepRequest{Kind: kind, Grid: []float64{0.95, 0.90}}
+		sub, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := c.Wait(ctx, sub.ID); err != nil || st != StateDone {
+			t.Fatalf("%s: wait = %v, %v", kind, st, err)
+		}
+		payload, err := c.Result(ctx, sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := DecodeResult(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch kind {
+		case KindFaultMap:
+			if env.FaultMap == nil || len(env.FaultMap.Curves) != 2 ||
+				len(env.FaultMap.Fig5) != 2 || len(env.FaultMap.Usable) == 0 {
+				t.Fatalf("faultmap payload incomplete: %+v", env.FaultMap)
+			}
+			if len(env.FaultMap.Grid) != 2 {
+				t.Fatalf("faultmap grid = %v", env.FaultMap.Grid)
+			}
+		case KindECCStudy:
+			if env.ECC == nil || len(env.ECC.Points) != 2 {
+				t.Fatalf("ecc payload incomplete: %+v", env.ECC)
+			}
+		}
+		// The request echo is normalized: analytic kinds pin scale 1.
+		if env.Request.Scale != 1 {
+			t.Fatalf("%s: echoed scale = %d, want 1", kind, env.Request.Scale)
+		}
+
+		resub, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resub.Coalesced && !resub.CacheHit {
+			t.Fatalf("%s: identical resubmission did not coalesce", kind)
+		}
+		payload2, err := c.Result(ctx, resub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, payload2) {
+			t.Fatalf("%s: resubmission payload differs", kind)
+		}
+	}
+}
+
+// TestPowerNoiseKeyed verifies noisy power sweeps are deterministic
+// (noise draws are PRF-keyed) and that noise is part of the cache key.
+func TestPowerNoiseKeyed(t *testing.T) {
+	noisy := SweepRequest{Kind: KindPower, Grid: []float64{1.20, 0.95}, Noise: 0.01, Samples: 2, PortCounts: []int{0, 32}}
+	clean := noisy
+	clean.Noise = 0
+
+	key := func(r SweepRequest) uint64 {
+		t.Helper()
+		if err := r.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		k, err := r.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if key(noisy) == key(clean) {
+		t.Fatal("noise not folded into the cache key")
+	}
+
+	run := func() []byte {
+		t.Helper()
+		// Fresh manager per run so nothing is cache-served.
+		m := NewManager(Config{Workers: 1})
+		defer m.Close()
+		j, _, _, err := m.Submit(noisy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := j.Wait(context.Background()); err != nil || st != StateDone {
+			t.Fatalf("wait = %v, %v (%s)", st, err, j.Err())
+		}
+		return j.Payload()
+	}
+	if !bytes.Equal(run(), run()) {
+		t.Fatal("noisy power sweep is not deterministic across runs")
 	}
 }

@@ -245,13 +245,4 @@ func (s *System) RunECCStudy() (*ECCStudy, error) {
 func PaperGrid() []float64 { return faults.PaperGrid() }
 
 // DisplayGrid returns the paper's figure display grid (50 mV steps).
-func DisplayGrid() []float64 {
-	var out []float64
-	for _, v := range faults.PaperGrid() {
-		mv := int(v*1000 + 0.5)
-		if mv%50 == 0 {
-			out = append(out, v)
-		}
-	}
-	return out
-}
+func DisplayGrid() []float64 { return faults.DisplayGrid() }
