@@ -27,6 +27,7 @@ import (
 // BenchmarkFig2PowerSweep regenerates Fig. 2 (normalized power vs
 // voltage per bandwidth) and reports the two headline savings factors.
 func BenchmarkFig2PowerSweep(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	var res *PowerSweepResult
 	for i := 0; i < b.N; i++ {
@@ -51,6 +52,7 @@ func BenchmarkFig2PowerSweep(b *testing.B) {
 // BenchmarkFig3AlphaCLF regenerates Fig. 3 and reports the active-
 // capacitance drop at 0.85 V.
 func BenchmarkFig3AlphaCLF(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	var res *PowerSweepResult
 	for i := 0; i < b.N; i++ {
@@ -70,6 +72,7 @@ func BenchmarkFig3AlphaCLF(b *testing.B) {
 // BenchmarkFig4StackCurves regenerates Fig. 4 (faulty fraction per
 // stack) over the full 8 GB device and reports the HBM1/HBM0 gap.
 func BenchmarkFig4StackCurves(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	var curves []core.StackCurve
 	for i := 0; i < b.N; i++ {
@@ -102,6 +105,7 @@ func BenchmarkFig4StackCurves(b *testing.B) {
 // BenchmarkFig5FaultAtlas regenerates the per-PC fault atlas for both
 // patterns and reports the polarity asymmetry.
 func BenchmarkFig5FaultAtlas(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	for i := 0; i < b.N; i++ {
 		if err := sys.RenderFig5(io.Discard); err != nil {
@@ -122,6 +126,7 @@ func BenchmarkFig5FaultAtlas(b *testing.B) {
 // BenchmarkFig6UsablePCs regenerates the trade-off curves and reports
 // the two anchors of §III-C.
 func BenchmarkFig6UsablePCs(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	for i := 0; i < b.N; i++ {
 		if err := sys.RenderFig6(io.Discard); err != nil {
@@ -135,6 +140,7 @@ func BenchmarkFig6UsablePCs(b *testing.B) {
 // BenchmarkAlgorithm1 runs the paper's reliability tester (Monte-Carlo
 // path) on one sensitive pseudo channel of a scaled board.
 func BenchmarkAlgorithm1(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{Scale: 256})
 	cfg := ReliabilityConfig{
 		Ports:     []PortID{18},
@@ -168,6 +174,7 @@ func BenchmarkAlgorithm1(b *testing.B) {
 // The words/sec metric is the headline: bulk-sparse must beat wordwise
 // by orders of magnitude for full-scale sweeps to be routine.
 func BenchmarkAlgorithm1FullPC(b *testing.B) {
+	b.ReportAllocs()
 	const port = 18 // sensitive PC: plenty of faults to enumerate
 	modes := []struct {
 		name     string
@@ -180,6 +187,7 @@ func BenchmarkAlgorithm1FullPC(b *testing.B) {
 	}
 	for _, mode := range modes {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			brd := board.MustNew(board.Config{Scale: 1, SparseFaults: mode.sparse})
 			brd.Device.SetVoltage(0.90)
 			tg := brd.TGs[port]
@@ -212,8 +220,10 @@ func BenchmarkAlgorithm1FullPC(b *testing.B) {
 // sub-benchmarks is the scaling curve. CI emits these lines as
 // BENCH_sweep.json so the perf trajectory is tracked per commit.
 func BenchmarkReliabilitySweep(b *testing.B) {
+	b.ReportAllocs()
 	for _, j := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			b.ReportAllocs()
 			sys := MustNew(Config{Scale: 8, SparseFaults: true})
 			cfg := ReliabilityConfig{BatchSize: 2, Workers: j}
 			b.ResetTimer()
@@ -251,6 +261,7 @@ func benchSweepRequest(seed uint64) service.SweepRequest {
 // fresh device seed, so this is the cache-miss path — board build,
 // scheduler run, payload marshal and transport included.
 func BenchmarkServiceSubmit(b *testing.B) {
+	b.ReportAllocs()
 	srv := service.New(service.Config{Workers: 1, CacheEntries: 4, MaxJobs: 64})
 	ts := httptest.NewServer(srv)
 	defer func() {
@@ -281,6 +292,7 @@ func BenchmarkServiceSubmit(b *testing.B) {
 // that bounds how fast the daemon answers the many-identical-consumers
 // workload.
 func BenchmarkServiceCacheHit(b *testing.B) {
+	b.ReportAllocs()
 	srv := service.New(service.Config{Workers: 1})
 	ts := httptest.NewServer(srv)
 	defer func() {
@@ -320,6 +332,7 @@ func BenchmarkServiceCacheHit(b *testing.B) {
 // the memoized rate atlas, so the per-iteration time (after the first)
 // is the marginal cost of rendering, not of recomputing expectations.
 func BenchmarkFigureSuiteAtlas(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	render := func() {
 		if _, err := sys.RenderFig4(io.Discard); err != nil {
@@ -343,6 +356,7 @@ func BenchmarkFigureSuiteAtlas(b *testing.B) {
 
 // BenchmarkGuardband locates Vmin analytically (the §III-B landmark).
 func BenchmarkGuardband(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	var g Guardband
 	for i := 0; i < b.N; i++ {
@@ -359,6 +373,7 @@ func BenchmarkGuardband(b *testing.B) {
 // BenchmarkECCStudy runs the SEC-DED mitigation ablation (extension
 // experiment) and reports the extended safe voltage.
 func BenchmarkECCStudy(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	var study *ECCStudy
 	for i := 0; i < b.N; i++ {
@@ -374,6 +389,7 @@ func BenchmarkECCStudy(b *testing.B) {
 
 // BenchmarkPlanner measures a three-factor trade-off query.
 func BenchmarkPlanner(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -386,6 +402,7 @@ func BenchmarkPlanner(b *testing.B) {
 // BenchmarkPMBusVoltageSet measures the full PMBus voltage-programming
 // round trip (encode, PEC, regulator, rail propagation to both stacks).
 func BenchmarkPMBusVoltageSet(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	for i := 0; i < b.N; i++ {
 		v := 0.90 + float64(i%4)*0.01
@@ -398,6 +415,7 @@ func BenchmarkPMBusVoltageSet(b *testing.B) {
 // BenchmarkPowerMeasurement measures the INA226 measurement pipeline
 // (rail sampling, averaging, register quantization, decode).
 func BenchmarkPowerMeasurement(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	for i := 0; i < b.N; i++ {
 		if _, err := sys.PowerWatts(); err != nil {
@@ -410,6 +428,7 @@ func BenchmarkPowerMeasurement(b *testing.B) {
 // DESIGN.md: how cluster concentration (vs uniform spread) changes the
 // ECC failure onset, holding the PC-average fault rate fixed.
 func BenchmarkAblationClusterFraction(b *testing.B) {
+	b.ReportAllocs()
 	var vmins [2]float64
 	for i, frac := range []float64{0.08, 1.0} {
 		cfg := faults.DefaultConfig()
@@ -437,6 +456,7 @@ func BenchmarkAblationClusterFraction(b *testing.B) {
 // AXI switching network, which the paper disables (§II-C): aggregate
 // bandwidth with and without it.
 func BenchmarkAblationSwitchNetwork(b *testing.B) {
+	b.ReportAllocs()
 	direct := MustNew(Config{})
 	switched := MustNew(Config{SwitchEnabled: true})
 	var bwD, bwS float64
@@ -451,6 +471,7 @@ func BenchmarkAblationSwitchNetwork(b *testing.B) {
 // BenchmarkTempStudy sweeps operating temperature (extension study) and
 // reports the guardband erosion across the deployment envelope.
 func BenchmarkTempStudy(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	var study *TempStudy
 	for i := 0; i < b.N; i++ {
@@ -467,6 +488,7 @@ func BenchmarkTempStudy(b *testing.B) {
 // BenchmarkCapacityStudy compares allocation granularities (extension
 // study) and reports the recovery at 0.92 V.
 func BenchmarkCapacityStudy(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	var study *CapacityStudy
 	for i := 0; i < b.N; i++ {
@@ -484,6 +506,7 @@ func BenchmarkCapacityStudy(b *testing.B) {
 // BenchmarkBandwidthStudy characterizes the workload suite through the
 // DRAM timing model and reports the sequential/random spread.
 func BenchmarkBandwidthStudy(b *testing.B) {
+	b.ReportAllocs()
 	sys := MustNew(Config{})
 	var results []WorkloadResult
 	for i := 0; i < b.N; i++ {

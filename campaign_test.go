@@ -172,3 +172,91 @@ func TestCampaignPaperReproSmokeGolden(t *testing.T) {
 		}
 	}
 }
+
+// TestCampaignPaperReproSmokeSharedGolden pins the sweep planner's
+// realization separately: the same smoke campaign run with
+// SharedEnumeration must reproduce its own committed goldens byte for
+// byte, at -j 1 and at -j 8 (the acceptance worker counts). The shared
+// mode is a distinct realization of the sparse device, so these
+// goldens differ from the legacy ones — which is exactly why both sets
+// are pinned. Regenerate with:
+// go test -run TestCampaignPaperReproSmokeSharedGolden -update .
+func TestCampaignPaperReproSmokeSharedGolden(t *testing.T) {
+	run := func(jobs, fleet int) map[string][]byte {
+		t.Helper()
+		res, err := RunCampaign(context.Background(), PaperReproCampaign(true), CampaignOptions{
+			Jobs: jobs, Fleet: fleet, SharedEnumeration: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Manifest.Plan == nil || res.Manifest.Plan.SharedCells == 0 {
+			t.Fatal("planned smoke campaign carries no plan")
+		}
+		dir := t.TempDir()
+		if err := res.WriteArtifacts(dir); err != nil {
+			t.Fatal(err)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := map[string][]byte{}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			files[e.Name()] = data
+		}
+		return files
+	}
+
+	j1 := run(1, 1)
+	j8 := run(4, 8)
+	if len(j1) != len(j8) {
+		t.Fatalf("artifact sets differ across fleets: %d vs %d", len(j1), len(j8))
+	}
+	for name, data := range j1 {
+		if !bytes.Equal(data, j8[name]) {
+			t.Errorf("%s differs between -j 1 and -j 8", name)
+		}
+	}
+
+	goldenDir := filepath.Join("testdata", "campaign", "paper-repro-smoke-shared")
+	if *updateGolden {
+		if err := os.RemoveAll(goldenDir); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range j1 {
+			if err := os.WriteFile(filepath.Join(goldenDir, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	goldens, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("missing shared goldens (run with -update): %v", err)
+	}
+	if len(goldens) != len(j1) {
+		t.Errorf("campaign wrote %d files, shared goldens have %d", len(j1), len(goldens))
+	}
+	for _, e := range goldens {
+		want, err := os.ReadFile(filepath.Join(goldenDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := j1[e.Name()]
+		if !ok {
+			t.Errorf("golden %s not produced by the shared run", e.Name())
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s drifted from shared golden; run with -update after verifying the change", e.Name())
+		}
+	}
+}

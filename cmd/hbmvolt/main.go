@@ -60,6 +60,7 @@ var (
 	flagOut    = flag.String("out", "", "campaign: write manifest.json and per-scenario NDJSON artifacts to this directory")
 	flagJobs   = flag.Int("jobs", 2, "campaign: sweeps executing concurrently")
 	flagRender = flag.Bool("render", false, "campaign: also print the human-readable figure suite from the campaign's payloads")
+	flagShared = flag.Bool("shared", false, "campaign: run through the sweep planner — reliability cells grouped by physics sub-key share one stuck-cell enumeration per (voltage, port, rep); a distinct, separately golden-pinned realization")
 )
 
 func main() {
@@ -206,8 +207,9 @@ func runCampaign() error {
 		return err
 	}
 	res, err := hbmvolt.RunCampaign(context.Background(), spec, hbmvolt.CampaignOptions{
-		Jobs:  *flagJobs,
-		Fleet: *flagJ,
+		Jobs:              *flagJobs,
+		Fleet:             *flagJ,
+		SharedEnumeration: *flagShared,
 		OnCell: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcampaign %s: %d/%d cells   ", spec.Name, done, total)
 			if done == total {
@@ -227,6 +229,10 @@ func runCampaign() error {
 	m := res.Manifest
 	fmt.Printf("campaign %s: %d cells (%d unique sweeps), %d scenarios\n",
 		m.Campaign, m.Cells, m.UniqueSweeps, len(m.Scenarios))
+	if m.Plan != nil {
+		fmt.Printf("plan: %d shared cells in %d physics groups; %d unique enumerations cover %d pattern evaluations\n",
+			m.Plan.SharedCells, len(m.Plan.Groups), m.Plan.UniquePhysics, m.Plan.PatternEvals)
+	}
 	tbl := report.NewTable("scenario", "kind", "cell", "key", "bytes", "sha256")
 	for _, sm := range m.Scenarios {
 		for _, cm := range sm.Cells {

@@ -23,6 +23,11 @@
 //	GET    /v1/campaigns/{id}     status (+ manifest when done)
 //	DELETE /v1/campaigns/{id}     cancel remaining cells
 //
+// With -pprof, net/http/pprof is mounted under /debug/pprof/ so
+// campaign-scale CPU and heap profiles can be captured in place:
+//
+//	go tool pprof http://127.0.0.1:8023/debug/pprof/profile?seconds=30
+//
 // Identical requests — concurrent or repeated, standalone or inside a
 // campaign — coalesce into a single computation and return
 // bit-identical payloads; see the cache-key and determinism contract in
@@ -36,6 +41,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -53,6 +59,7 @@ var (
 	flagCache   = flag.Int("cache", 256, "result cache entries (LRU)")
 	flagMaxJobs = flag.Int("max-jobs", 1024, "retained job records (oldest terminal jobs evicted)")
 	flagFleet   = flag.Int("j", runtime.GOMAXPROCS(0), "default board-fleet size per sharded sweep (request \"workers\" overrides)")
+	flagPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; enables capturing CPU/heap profiles of campaign-scale runs in place)")
 )
 
 func main() {
@@ -81,6 +88,17 @@ func run() error {
 	mux := http.NewServeMux()
 	campaign.NewAPI(srv.Manager()).Register(mux)
 	mux.Handle("/", srv)
+
+	// Profiling routes are opt-in: the handlers are registered on this
+	// mux explicitly (never on http.DefaultServeMux), so without -pprof
+	// nothing introspectable is exposed.
+	if *flagPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *flagAddr,

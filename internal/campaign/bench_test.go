@@ -9,6 +9,7 @@ import (
 // expansion of the built-in paper-repro campaign — the pure declarative
 // overhead a campaign adds before any sweep runs.
 func BenchmarkCampaignExpand(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		spec := PaperRepro(true)
 		if err := spec.Normalize(); err != nil {
@@ -24,32 +25,60 @@ func BenchmarkCampaignExpand(b *testing.B) {
 	}
 }
 
-// BenchmarkCampaignRun measures end-to-end campaign execution of a
-// small mixed campaign (reliability + analytic scenarios) on a private
-// manager, including manifest assembly.
-func BenchmarkCampaignRun(b *testing.B) {
-	spec := Spec{
+// benchSpec is the multi-pattern campaign the throughput benchmark
+// runs: five reliability cells probing one device over one grid with
+// four pattern sets (plus a paired all-pattern cell), and an analytic
+// scenario riding along. Exactly the shape the sweep planner targets —
+// many cells, one silicon.
+func benchSpec() Spec {
+	return Spec{
 		Name: "bench",
 		Scenarios: []Scenario{
 			{
-				Name:  "rel",
-				Kind:  "reliability",
-				Grid:  []float64{0.90, 0.89},
-				Ports: []int{18},
+				Name: "rel",
+				Kind: "reliability",
+				PatternSets: [][]string{
+					{"all1"}, {"all0"}, {"checker"}, {"all1", "all0", "checker"},
+				},
+				Grid:  []float64{0.91, 0.90, 0.89, 0.88},
+				Ports: []int{5, 18},
 				Batch: 2,
 			},
 			{Name: "ecc", Kind: "ecc-study", Grid: []float64{0.95, 0.90}},
 		},
 	}
+}
+
+// BenchmarkCampaignRun measures end-to-end campaign execution of the
+// multi-pattern spec on a private manager, manifest assembly included,
+// in both execution modes: isolated (the legacy per-pattern path) and
+// shared (the sweep planner). cells/sec is the headline metric — the
+// planner's contract is that it scales with the spec's unique physics,
+// not its cell count, so shared must beat isolated by ≥3× here.
+func BenchmarkCampaignRun(b *testing.B) {
 	ctx := context.Background()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := Run(ctx, spec, Options{Jobs: 2})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if res.Manifest.Cells != 2 {
-			b.Fatalf("cells = %d", res.Manifest.Cells)
-		}
+	for _, mode := range []struct {
+		name   string
+		shared bool
+	}{
+		{"isolated", false},
+		{"shared", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			spec := benchSpec()
+			cells := 0
+			for i := 0; i < b.N; i++ {
+				res, err := Run(ctx, spec, Options{Jobs: 2, SharedEnumeration: mode.shared})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Manifest.Cells != 5 {
+					b.Fatalf("cells = %d", res.Manifest.Cells)
+				}
+				cells += res.Manifest.Cells
+			}
+			b.ReportMetric(float64(cells)/b.Elapsed().Seconds(), "cells/sec")
+		})
 	}
 }

@@ -27,6 +27,17 @@ type Options struct {
 	// OnCell, when non-nil, is called after each completed (cell,
 	// repeat) execution with monotone counters.
 	OnCell func(done, total int)
+	// SharedEnumeration runs the campaign through the sweep planner:
+	// reliability cells are grouped by their (fault-model fingerprint ×
+	// voltage grid × sampling mode) physics sub-key, switched to
+	// shared-enumeration execution, and scheduled group-adjacent so each
+	// group's (voltage, port, rep) stuck-cell enumerations are computed
+	// once for the whole campaign (see planner.go). Planned manifests
+	// carry a "plan" section and are byte-identical across Jobs/Fleet
+	// settings, like unplanned ones — but they are a different (shared,
+	// separately golden-pinned) realization, so planned and unplanned
+	// runs of one spec do not share cache entries.
+	SharedEnumeration bool
 }
 
 // Manifest is the deterministic campaign summary: cells in spec order,
@@ -34,11 +45,14 @@ type Options struct {
 // runs of the same spec — any worker count, any fleet size, fresh or
 // cache-served — produce byte-identical manifests.
 type Manifest struct {
-	Campaign     string             `json:"campaign"`
-	Description  string             `json:"description,omitempty"`
-	Cells        int                `json:"cells"`
-	UniqueSweeps int                `json:"unique_sweeps"`
-	Scenarios    []ScenarioManifest `json:"scenarios"`
+	Campaign     string `json:"campaign"`
+	Description  string `json:"description,omitempty"`
+	Cells        int    `json:"cells"`
+	UniqueSweeps int    `json:"unique_sweeps"`
+	// Plan documents the sweep planner's computation-sharing schedule;
+	// present only for campaigns run with Options.SharedEnumeration.
+	Plan      *Plan              `json:"plan,omitempty"`
+	Scenarios []ScenarioManifest `json:"scenarios"`
 }
 
 // ScenarioManifest is one scenario's section of the manifest.
@@ -130,7 +144,25 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 		fleet = 0
 	}
 
-	// One execution per (cell, repeat), in campaign order.
+	// Planner pass: group reliability cells by physics sub-key, switch
+	// them to shared enumeration, and submit group-adjacent. Collection,
+	// manifests and artifacts stay in campaign order either way.
+	var plan *Plan
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	if opts.SharedEnumeration {
+		if plan, err = planCells(cells); err != nil {
+			return nil, err
+		}
+		if cells, err = applyPlan(cells, plan); err != nil {
+			return nil, err
+		}
+		order = plan.submissionOrder(len(cells))
+	}
+
+	// One execution per (cell, repeat), in schedule order.
 	var execs []execution
 	defer func() {
 		if err == nil {
@@ -144,7 +176,7 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 	for i := range cells {
 		total += cells[i].Repeat
 	}
-	for i := range cells {
+	for _, i := range order {
 		c := &cells[i]
 		for rep := 0; rep < c.Repeat; rep++ {
 			req := c.Request
@@ -204,6 +236,7 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 	}
 
 	res.Manifest, res.Scenarios = assemble(spec, cells, payloads)
+	res.Manifest.Plan = plan
 	return res, nil
 }
 

@@ -40,6 +40,7 @@ type apiRun struct {
 	id     string
 	spec   Spec
 	fleet  int
+	shared bool
 	cancel context.CancelFunc
 
 	mu       sync.Mutex
@@ -75,6 +76,10 @@ type SubmitBody struct {
 	// Fleet is the per-sweep board-fleet size hint (never affects
 	// results or the manifest).
 	Fleet int `json:"fleet,omitempty"`
+	// Shared runs the campaign through the sweep planner: reliability
+	// cells grouped by physics sub-key execute in shared-enumeration
+	// mode (see Options.SharedEnumeration).
+	Shared bool `json:"shared,omitempty"`
 }
 
 // Status is the externally visible campaign state.
@@ -150,7 +155,7 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
-	run := &apiRun{spec: spec, fleet: body.Fleet, cancel: cancel, state: "running", total: spec.Executions()}
+	run := &apiRun{spec: spec, fleet: body.Fleet, shared: body.Shared, cancel: cancel, state: "running", total: spec.Executions()}
 	a.mu.Lock()
 	if active := a.activeLocked(); active >= maxActiveRuns {
 		a.mu.Unlock()
@@ -175,7 +180,8 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (a *API) execute(ctx context.Context, run *apiRun) {
 	defer run.cancel()
 	res, err := Execute(ctx, a.mgr, run.spec, Options{
-		Fleet: run.fleet,
+		Fleet:             run.fleet,
+		SharedEnumeration: run.shared,
 		OnCell: func(done, total int) {
 			run.mu.Lock()
 			run.done, run.total = done, total

@@ -44,6 +44,17 @@ type ReliabilityConfig struct {
 	// workers, each driving its own clone of Board. Results are
 	// bit-identical at every worker count; only wall time changes.
 	Workers int
+	// SharedEnumeration evaluates every pattern of a voltage point from
+	// one pattern-agnostic stuck-cell enumeration (faults.Enumeration)
+	// instead of re-enumerating per pattern, memoized process-wide so
+	// sweeps sharing a (fingerprint × voltage) sub-key — across patterns,
+	// batch runs, and whole campaigns — pay for unique physics, not for
+	// cells. The shared mode is a distinct (statistically identical,
+	// separately golden-pinned) realization of the sparse device; on the
+	// bit-exact sampler it is bit-identical to the legacy path. Patterns
+	// must have a closed-form ones density (all built-ins do). Results
+	// remain bit-identical at every Workers count.
+	SharedEnumeration bool
 	// OnPoint, when non-nil, is invoked after each completed voltage
 	// point with monotone progress counters. Under a sharded sweep the
 	// callback is serialized but arrives in completion order, not grid
@@ -75,6 +86,13 @@ func (c *ReliabilityConfig) fill() error {
 	}
 	if c.Grid == nil {
 		c.Grid = faults.PaperGrid()
+	}
+	if c.SharedEnumeration {
+		for _, p := range c.Patterns {
+			if _, ok := pattern.OnesFraction(p); !ok {
+				return fmt.Errorf("core: SharedEnumeration requires patterns with a closed-form ones density; %q has none", p.Name())
+			}
+		}
 	}
 	return nil
 }
@@ -204,8 +222,13 @@ func runVoltagePoint(b *board.Board, cfg *ReliabilityConfig, v float64) (Voltage
 		return pt, nil
 	}
 
+	if cfg.SharedEnumeration {
+		return sharedVoltagePoint(b, cfg, pt)
+	}
+
+	scratch := newPortScratch(len(cfg.Ports), cfg.BatchSize)
 	for _, pat := range cfg.Patterns {
-		observations, err := runPorts(b, cfg.Ports, pat, cfg.WordsPerPort, cfg.BatchSize, cfg.Parallel)
+		observations, err := runPorts(b, cfg.Ports, pat, cfg.WordsPerPort, cfg.BatchSize, cfg.Parallel, scratch)
 		if err != nil {
 			return VoltagePoint{}, fmt.Errorf("core: pattern %s at %vV: %w", pat.Name(), v, err)
 		}
@@ -224,6 +247,48 @@ func runVoltagePoint(b *board.Board, cfg *ReliabilityConfig, v float64) (Voltage
 	return pt, nil
 }
 
+// portAcc accumulates one (port, pattern) test's batch statistics.
+type portAcc struct {
+	flips, faulty float64
+	runs          []float64
+}
+
+// portScratch holds runPorts' per-call buffers. A voltage point
+// allocates one scratch and reuses it across its patterns, so the
+// batched fill/check hot path allocates per point, not per (pattern ×
+// call) — the b.ReportAllocs discipline of the sweep benchmarks.
+type portScratch struct {
+	accs    []portAcc
+	saved   []bool
+	results []axi.Stats
+	errs    []error
+	out     []PortObservation
+}
+
+// newPortScratch sizes a scratch for nPorts ports and batch reps.
+func newPortScratch(nPorts, batch int) *portScratch {
+	s := &portScratch{
+		accs:    make([]portAcc, nPorts),
+		saved:   make([]bool, nPorts),
+		results: make([]axi.Stats, nPorts),
+		errs:    make([]error, nPorts),
+		out:     make([]PortObservation, nPorts),
+	}
+	for i := range s.accs {
+		s.accs[i].runs = make([]float64, 0, batch)
+	}
+	return s
+}
+
+// reset clears the accumulators for another pattern pass.
+func (s *portScratch) reset() {
+	for i := range s.accs {
+		s.accs[i].flips, s.accs[i].faulty = 0, 0
+		s.accs[i].runs = s.accs[i].runs[:0]
+		s.errs[i] = nil
+	}
+}
+
 // runPorts runs the batched fill/check of Algorithm 1 on the given
 // ports, optionally driving them concurrently within each batch
 // repetition (the hardware's natural mode: all traffic generators run
@@ -231,18 +296,16 @@ func runVoltagePoint(b *board.Board, cfg *ReliabilityConfig, v float64) (Voltage
 // every (port × repetition) task — repetitions form a barrier, because
 // the batch-rep register is device-global state, but the goroutines and
 // result buffers live once for the whole batch instead of being respawned
-// per repetition.
-func runPorts(b *board.Board, ports []hbm.PortID, pat pattern.Pattern, words uint64, batch int, parallel bool) ([]PortObservation, error) {
-	type acc struct {
-		flips, faulty float64
-		runs          []float64
+// per repetition. The returned slice aliases scratch.out; callers copy
+// the observations out before the next call.
+func runPorts(b *board.Board, ports []hbm.PortID, pat pattern.Pattern, words uint64, batch int, parallel bool, scratch *portScratch) ([]PortObservation, error) {
+	if scratch == nil {
+		scratch = newPortScratch(len(ports), batch)
 	}
-	accs := make([]acc, len(ports))
-	for i := range accs {
-		accs[i].runs = make([]float64, 0, batch)
-	}
+	scratch.reset()
+	accs := scratch.accs
 
-	saved := make([]bool, len(ports))
+	saved := scratch.saved
 	for i, p := range ports {
 		saved[i] = b.TGs[p].Port().Enabled()
 		b.TGs[p].Port().SetEnabled(true)
@@ -253,8 +316,8 @@ func runPorts(b *board.Board, ports []hbm.PortID, pat pattern.Pattern, words uin
 		}
 	}()
 
-	results := make([]axi.Stats, len(ports))
-	errs := make([]error, len(ports))
+	results := scratch.results
+	errs := scratch.errs
 
 	var tasks chan int
 	var wg sync.WaitGroup
@@ -297,7 +360,7 @@ func runPorts(b *board.Board, ports []hbm.PortID, pat pattern.Pattern, words uin
 	}
 	b.Device.SetBatchRep(0)
 
-	out := make([]PortObservation, len(ports))
+	out := scratch.out
 	for i, p := range ports {
 		sum, err := stats.Summarize(accs[i].runs, DefaultConfidence)
 		if err != nil {

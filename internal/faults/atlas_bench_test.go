@@ -7,14 +7,17 @@ import "testing"
 // model calls this once per INA226 sample, so the gap is what the rate
 // atlas buys every power sweep and figure regeneration.
 func BenchmarkGlobalStuckFraction(b *testing.B) {
+	b.ReportAllocs()
 	m := MustNew(DefaultConfig())
 	grid := PaperGrid()
 	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m.GlobalStuckFraction(grid[i%len(grid)])
 		}
 	})
 	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			m.computeRates(grid[i%len(grid)], AnyFlip)
 		}

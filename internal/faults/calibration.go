@@ -177,4 +177,11 @@ const (
 	// points out of order realize the same device as a sequential sweep.
 	saltSparse    = 0xc0ffee_0005
 	saltAggregate = 0xc0ffee_0006
+	// saltShared keys the shared-enumeration aggregate stuck-cell count
+	// draws on (seed, PC, segment, rep, voltage) — deliberately without
+	// any pattern term, because a cell's stuck state is a property of the
+	// silicon, not of the data later written (enum.go). saltSharedSplit
+	// keys the per-pattern measurement split of those shared counts.
+	saltShared      = 0xc0ffee_0007
+	saltSharedSplit = 0xc0ffee_0008
 )

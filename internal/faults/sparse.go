@@ -130,14 +130,27 @@ func (s *Sampler) sparseRowFaults(row, lo, hi uint64, p, t float64, visit func(a
 		pos int
 		pol Polarity
 	}
+	// Each fault consumes exactly two stream words (position, polarity),
+	// so the draws are pulled in blocks via Fill — identical values to
+	// sequential Intn/Float64 calls, without the per-draw call setup.
 	buf := make([]posFault, 0, k)
-	for j := 0; j < k; j++ {
-		pos := src.Intn(nBits)
-		pol := StuckAt0
-		if src.Float64() < p1Share {
-			pol = StuckAt1
+	var draws [256]uint64
+	for j := 0; j < k; {
+		chunk := k - j
+		if chunk > len(draws)/2 {
+			chunk = len(draws) / 2
 		}
-		buf = append(buf, posFault{pos, pol})
+		d := draws[:2*chunk]
+		src.Fill(d)
+		for c := 0; c < chunk; c++ {
+			pos := int(d[2*c] % uint64(nBits))
+			pol := StuckAt0
+			if prf.Float64(d[2*c+1]) < p1Share {
+				pol = StuckAt1
+			}
+			buf = append(buf, posFault{pos, pol})
+		}
+		j += chunk
 	}
 	sort.Slice(buf, func(i, j int) bool { return buf[i].pos < buf[j].pos })
 	rowBase := row * s.wordsPerRow

@@ -1,0 +1,84 @@
+// Package lru provides the byte-bounded LRU index shared by the sweep
+// service's result cache (internal/service) and the fault model's
+// enumeration memo store (internal/faults): one eviction policy, one
+// byte-accounting implementation, so the two caches cannot drift.
+//
+// Policy: entries are weighed by a caller-supplied byte size; Add
+// evicts least-recently-used entries while either bound (entries or
+// bytes) is exceeded, but never the entry just added — an oversized
+// value still serves its immediate repeats instead of thrashing.
+// Duplicate Adds refresh recency and keep the first value (the callers'
+// determinism contracts make a key's value immutable).
+//
+// A Cache is NOT safe for concurrent use; callers hold their own locks
+// (both consumers already serialize access alongside counters of their
+// own).
+package lru
+
+import "container/list"
+
+type entry[K comparable, V any] struct {
+	key  K
+	val  V
+	size int64
+}
+
+// Cache is a byte- and entry-bounded LRU map.
+type Cache[K comparable, V any] struct {
+	maxEntries int   // 0 = unbounded
+	maxBytes   int64 // 0 = unbounded
+	bytes      int64
+	order      *list.List // front = most recently used
+	entries    map[K]*list.Element
+}
+
+// New builds a cache bounded by maxEntries and maxBytes; zero disables
+// the respective bound.
+func New[K comparable, V any](maxEntries int, maxBytes int64) *Cache[K, V] {
+	return &Cache[K, V]{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		entries:    make(map[K]*list.Element),
+	}
+}
+
+// Get returns the value for key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add stores value with the given byte size and evicts from the LRU
+// tail until both bounds hold again, returning the number of evicted
+// entries. Adding an existing key only refreshes its recency (first
+// write wins); the newest entry is never evicted.
+func (c *Cache[K, V]) Add(key K, value V, size int64) (evicted int) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return 0
+	}
+	c.entries[key] = c.order.PushFront(&entry[K, V]{key: key, val: value, size: size})
+	c.bytes += size
+	for c.order.Len() > 1 &&
+		((c.maxEntries > 0 && c.order.Len() > c.maxEntries) ||
+			(c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		oldest := c.order.Back()
+		ent := oldest.Value.(*entry[K, V])
+		c.order.Remove(oldest)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
+		evicted++
+	}
+	return evicted
+}
+
+// Len returns the live entry count.
+func (c *Cache[K, V]) Len() int { return c.order.Len() }
+
+// Bytes returns the total accounted size of retained entries.
+func (c *Cache[K, V]) Bytes() int64 { return c.bytes }

@@ -1,0 +1,56 @@
+package lru
+
+import "testing"
+
+func TestByteAndEntryBounds(t *testing.T) {
+	c := New[int, string](3, 100)
+	if n := c.Add(1, "a", 40); n != 0 {
+		t.Fatalf("evicted %d on first insert", n)
+	}
+	c.Add(2, "b", 40)
+	if _, ok := c.Get(1); !ok { // refresh 1; 2 becomes LRU
+		t.Fatal("entry 1 missing")
+	}
+	// Byte pressure evicts the LRU entry (2), not the refreshed one.
+	if n := c.Add(3, "c", 60); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("entry 2 survived byte-pressure eviction")
+	}
+	if c.Bytes() != 100 || c.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d, want 100/2", c.Bytes(), c.Len())
+	}
+	// Entry pressure: two tiny inserts trip the 3-entry cap.
+	c.Add(4, "d", 1)
+	c.Add(5, "e", 1)
+	if c.Len() != 3 {
+		t.Fatalf("len=%d, want 3 (entry cap)", c.Len())
+	}
+	// Oversized newest entry survives alone.
+	if n := c.Add(6, "f", 1000); n != 3 {
+		t.Fatalf("evicted %d, want 3", n)
+	}
+	if c.Len() != 1 || c.Bytes() != 1000 {
+		t.Fatalf("len=%d bytes=%d after oversized insert", c.Len(), c.Bytes())
+	}
+	// Duplicate Add refreshes, keeps the first value, accounts nothing.
+	c.Add(6, "other", 500)
+	if v, _ := c.Get(6); v != "f" || c.Bytes() != 1000 {
+		t.Fatalf("duplicate add replaced value or re-accounted: %q / %d", v, c.Bytes())
+	}
+}
+
+func TestUnboundedDimensions(t *testing.T) {
+	c := New[int, int](0, 50) // entries unbounded, bytes bounded
+	for i := 0; i < 10; i++ {
+		c.Add(i, i, 5)
+	}
+	if c.Len() != 10 || c.Bytes() != 50 {
+		t.Fatalf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	c.Add(10, 10, 5)
+	if c.Len() != 10 {
+		t.Fatalf("byte bound did not evict: len=%d", c.Len())
+	}
+}

@@ -132,6 +132,31 @@ type uniform struct {
 
 func (u uniform) Word(uint64) Word { return u.w }
 func (u uniform) Name() string     { return u.name }
+func (u uniform) OnesFraction() float64 {
+	return float64(u.w.OnesCount()) / WordBits
+}
+
+// DensityPattern is implemented by patterns whose average fraction of
+// 1 bits per word is known in closed form. Aggregate fault paths (the
+// shared enumeration's high-rate segments) use the density to classify
+// stuck cells into 1→0 vs 0→1 flips without materializing words: a
+// stuck-at-0 cell flips only where the pattern wrote a 1.
+type DensityPattern interface {
+	Pattern
+	// OnesFraction is the average fraction of 1 bits per word, in [0,1].
+	OnesFraction() float64
+}
+
+// OnesFraction returns p's average 1-bit density when it is known in
+// closed form. Every built-in pattern implements it; a custom pattern
+// that does not is rejected by density-dependent paths rather than
+// silently approximated.
+func OnesFraction(p Pattern) (float64, bool) {
+	if d, ok := p.(DensityPattern); ok {
+		return d.OnesFraction(), true
+	}
+	return 0, false
+}
 
 // UniformWord reports whether p writes the same word at every address,
 // returning that word when it does. Bulk data paths use this to express
@@ -165,7 +190,8 @@ func (checker) Word(addr uint64) Word {
 	}
 	return Word{b, b, b, b}
 }
-func (checker) Name() string { return "checker" }
+func (checker) Name() string          { return "checker" }
+func (checker) OnesFraction() float64 { return 0.5 }
 
 // WalkingOnes sets a single rotating 1 bit per word, all else 0.
 func WalkingOnes() Pattern { return walking{one: true} }
@@ -191,6 +217,13 @@ func (p walking) Name() string {
 	return "walk0"
 }
 
+func (p walking) OnesFraction() float64 {
+	if p.one {
+		return 1.0 / WordBits
+	}
+	return (WordBits - 1.0) / WordBits
+}
+
 // AddressInData writes the word address into each 64-bit lane, a classic
 // probe for address-decoder faults.
 func AddressInData() Pattern { return addrData{} }
@@ -201,6 +234,9 @@ func (addrData) Word(addr uint64) Word {
 	return Word{addr, ^addr, addr, ^addr}
 }
 func (addrData) Name() string { return "addr" }
+
+// OnesFraction: each lane pair (addr, ^addr) carries exactly 64 ones.
+func (addrData) OnesFraction() float64 { return 0.5 }
 
 // Random is a reproducible pseudo-random pattern derived from a seed; two
 // Random patterns with the same seed generate identical data.
@@ -216,7 +252,8 @@ func (r random) Word(addr uint64) Word {
 		prf.Hash3(r.seed, addr, 3),
 	}
 }
-func (r random) Name() string { return fmt.Sprintf("rand%d", r.seed) }
+func (r random) Name() string        { return fmt.Sprintf("rand%d", r.seed) }
+func (random) OnesFraction() float64 { return 0.5 }
 
 // ByName returns the pattern with the given Name. It recognizes the
 // pattern vocabulary used by the CLI: all1, all0, checker, walk1, walk0,

@@ -90,6 +90,24 @@ func (s *Source) Intn(n int) int {
 	return int(s.Uint64() % uint64(n))
 }
 
+// Fill writes the next len(dst) values of the stream into dst in one
+// pass — exactly the values len(dst) sequential Uint64 calls would
+// return, so callers can batch without changing any realization. The
+// state advance and finalizer are inlined into a single loop, which is
+// what lets bulk consumers (the sparse fault enumeration draws two
+// words per fault) amortize the per-draw call setup.
+func (s *Source) Fill(dst []uint64) {
+	st := s.state
+	for i := range dst {
+		st += 0x9e3779b97f4a7c15
+		z := st
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		dst[i] = z ^ (z >> 31)
+	}
+	s.state = st
+}
+
 // Norm returns an approximately standard-normal variate using the sum of
 // 12 uniforms (Irwin-Hall). Accurate to ~3 sigma, which is all the noise
 // model needs, and branch-free.

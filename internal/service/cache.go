@@ -1,8 +1,9 @@
 package service
 
 import (
-	"container/list"
 	"sync"
+
+	"hbmvolt/internal/lru"
 )
 
 // resultCache is a bounded LRU over marshaled result payloads, keyed by
@@ -11,53 +12,53 @@ import (
 // recomputation until capacity pressure ages the entry out. Payload
 // slices are stored and returned by reference and must be treated as
 // immutable by all parties.
+//
+// Eviction pressure is measured in payload bytes (internal/lru),
+// uniformly across result kinds: a campaign analytic envelope (a
+// faultmap study carries the whole Fig. 4/5/6 atlas) weighs what it
+// actually retains, the same way sweep payloads do, rather than
+// counting as one entry like a two-point reliability sweep. An
+// entry-count bound still applies on top, so a flood of tiny payloads
+// cannot grow the index without limit.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used
-	entries map[uint64]*list.Element
+	mu  sync.Mutex
+	lru *lru.Cache[uint64, []byte]
 
 	hits, misses uint64
 }
 
-type cacheEntry struct {
-	key     uint64
-	payload []byte
-}
-
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, maxBytes int64) *resultCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &resultCache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[uint64]*list.Element),
+	if maxBytes < 1 {
+		maxBytes = 1
 	}
+	return &resultCache{lru: lru.New[uint64, []byte](capacity, maxBytes)}
 }
 
 // Get returns the payload for key, marking it most recently used.
 func (c *resultCache) Get(key uint64) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	payload, ok := c.lru.Get(key)
 	if !ok {
 		c.misses++
 		return nil, false
 	}
 	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).payload, true
+	return payload, true
 }
 
-// Put stores a payload, evicting the least recently used entry on
-// overflow. Storing an existing key refreshes its recency; the payload
-// is not replaced — by the determinism contract a key's payload never
-// changes, so the first write wins and stays byte-stable.
+// Put stores a payload, evicting least recently used entries while the
+// entry or byte budget is exceeded. Storing an existing key refreshes
+// its recency; the payload is not replaced — by the determinism
+// contract a key's payload never changes, so the first write wins and
+// stays byte-stable.
 func (c *resultCache) Put(key uint64, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.putLocked(key, payload)
+	c.lru.Add(key, payload, int64(len(payload)))
 }
 
 // Touch records a served-from-cache event for a payload that may or may
@@ -70,27 +71,21 @@ func (c *resultCache) Touch(key uint64, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hits++
-	c.putLocked(key, payload)
-}
-
-func (c *resultCache) putLocked(key uint64, payload []byte) {
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		return
-	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, payload: payload})
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-	}
+	c.lru.Add(key, payload, int64(len(payload)))
 }
 
 // Len returns the live entry count.
 func (c *resultCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.order.Len()
+	return c.lru.Len()
+}
+
+// Bytes returns the total payload bytes currently retained.
+func (c *resultCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Bytes()
 }
 
 // Stats returns cumulative hit/miss counters.

@@ -210,6 +210,12 @@ type Config struct {
 	QueueDepth int
 	// CacheEntries bounds the result LRU (default 256 payloads).
 	CacheEntries int
+	// CacheBytes bounds the result LRU's total payload bytes (default
+	// 64 MB). Entries are weighed by their marshaled size for every
+	// result kind — analytic campaign envelopes (faultmap/ecc-study) the
+	// same as sweep payloads — so eviction pressure tracks what the
+	// cache actually retains.
+	CacheBytes int64
 	// MaxJobs bounds retained job records; the oldest terminal jobs are
 	// evicted beyond it (their payloads survive in the LRU) (default 1024).
 	MaxJobs int
@@ -227,6 +233,9 @@ func (c *Config) fill() {
 	}
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
@@ -282,7 +291,7 @@ func NewManager(cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheEntries),
+		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes),
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
@@ -458,10 +467,14 @@ type Stats struct {
 
 	SweepRuns    uint64 `json:"sweep_runs"`
 	CacheEntries int    `json:"cache_entries"`
+	CacheBytes   int64  `json:"cache_bytes"`
 	CacheHits    uint64 `json:"cache_hits"`
 	CacheMisses  uint64 `json:"cache_misses"`
 	Workers      int    `json:"workers"`
 	QueueDepth   int    `json:"queue_depth"`
+	// SharedEnums reports the process-wide shared-enumeration memo store
+	// (the sweep planner's physics cache).
+	SharedEnums faults.EnumStats `json:"shared_enums"`
 }
 
 // Stats gathers current counters.
@@ -475,8 +488,10 @@ func (m *Manager) Stats() Stats {
 	st := Stats{
 		SweepRuns:    m.runs.Load(),
 		CacheEntries: m.cache.Len(),
+		CacheBytes:   m.cache.Bytes(),
 		Workers:      m.cfg.Workers,
 		QueueDepth:   m.cfg.QueueDepth,
+		SharedEnums:  faults.EnumStoreStats(),
 	}
 	st.CacheHits, st.CacheMisses = m.cache.Stats()
 	for _, j := range jobs {
@@ -593,13 +608,14 @@ func (m *Manager) executeSweep(ctx context.Context, j *Job) ([]byte, error) {
 			workers = m.cfg.FleetSize
 		}
 		res, err := core.RunReliabilitySweep(ctx, core.ReliabilityConfig{
-			Board:     b,
-			Ports:     ports,
-			Patterns:  patterns,
-			BatchSize: req.Batch,
-			Grid:      req.Grid,
-			Workers:   workers,
-			OnPoint:   onPoint,
+			Board:             b,
+			Ports:             ports,
+			Patterns:          patterns,
+			BatchSize:         req.Batch,
+			Grid:              req.Grid,
+			Workers:           workers,
+			SharedEnumeration: req.Shared,
+			OnPoint:           onPoint,
 		})
 		if err != nil {
 			return nil, err

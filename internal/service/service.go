@@ -75,6 +75,15 @@ type SweepRequest struct {
 	// Exact selects the bit-exact per-cell fault sampler instead of the
 	// default sparse enumeration ("mode" in the cache key).
 	Exact bool `json:"exact,omitempty"`
+	// Shared evaluates every pattern of a voltage point from one
+	// pattern-agnostic stuck-cell enumeration, memoized process-wide by
+	// (fingerprint × voltage) sub-key — the sweep planner's
+	// computation-sharing mode (reliability only). On the sparse sampler
+	// shared sweeps are a distinct (statistically identical, separately
+	// golden-pinned) realization, so Shared is part of the cache key; on
+	// the bit-exact sampler results are bit-identical to the legacy path
+	// but the key still separates the two modes for uniformity.
+	Shared bool `json:"shared,omitempty"`
 	// Grid is the voltage ladder, descending; nil → the paper's
 	// 1.20 V → 0.81 V sweep.
 	Grid []float64 `json:"grid,omitempty"`
@@ -166,6 +175,9 @@ func (r *SweepRequest) Normalize() error {
 	}
 	if r.Noise != 0 && r.Kind != KindPower {
 		return badRequest("noise applies to kind %q only", KindPower)
+	}
+	if r.Shared && r.Kind != KindReliability {
+		return badRequest("shared applies to kind %q only", KindReliability)
 	}
 	if r.Noise < 0 || r.Noise > 0.5 {
 		return badRequest("noise %v out of [0, 0.5]", r.Noise)

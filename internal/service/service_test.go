@@ -537,7 +537,7 @@ func asAPIError(err error, target **APIError) bool {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	cch := newResultCache(2)
+	cch := newResultCache(2, 1<<20)
 	cch.Put(1, []byte("a"))
 	cch.Put(2, []byte("b"))
 	if _, ok := cch.Get(1); !ok { // refresh 1; 2 is now LRU
@@ -552,6 +552,43 @@ func TestCacheLRUEviction(t *testing.T) {
 	}
 	if cch.Len() != 2 {
 		t.Fatalf("len = %d", cch.Len())
+	}
+}
+
+// TestCacheByteAccounting pins the satellite fix: every payload kind
+// weighs its real bytes, so a large analytic envelope exerts the same
+// eviction pressure per byte as sweep payloads, and the byte counter
+// always equals the sum of retained payload sizes.
+func TestCacheByteAccounting(t *testing.T) {
+	cch := newResultCache(100, 100)
+	cch.Put(1, make([]byte, 40)) // a "sweep" payload
+	cch.Put(2, make([]byte, 40)) // another
+	if got := cch.Bytes(); got != 80 {
+		t.Fatalf("bytes = %d, want 80", got)
+	}
+	// A 60-byte "faultmap envelope" overflows the budget: the LRU entry
+	// (key 1) goes, not an entry count's worth.
+	cch.Put(3, make([]byte, 60))
+	if _, ok := cch.Get(1); ok {
+		t.Fatal("oldest entry survived byte-pressure eviction")
+	}
+	if _, ok := cch.Get(2); !ok {
+		t.Fatal("entry 2 evicted though the byte budget held")
+	}
+	if got := cch.Bytes(); got != 100 {
+		t.Fatalf("bytes = %d, want 100", got)
+	}
+	// An envelope larger than the whole budget evicts the rest but
+	// itself survives (newest entry always retained).
+	cch.Put(4, make([]byte, 150))
+	if cch.Len() != 1 {
+		t.Fatalf("len = %d, want 1", cch.Len())
+	}
+	if got := cch.Bytes(); got != 150 {
+		t.Fatalf("bytes = %d, want 150", got)
+	}
+	if _, ok := cch.Get(4); !ok {
+		t.Fatal("oversized entry not retained")
 	}
 }
 
@@ -741,5 +778,77 @@ func TestPowerNoiseKeyed(t *testing.T) {
 	}
 	if !bytes.Equal(run(), run()) {
 		t.Fatal("noisy power sweep is not deterministic across runs")
+	}
+}
+
+// TestSharedRequestKeyAndExecution pins the planner-facing service
+// surface: Shared applies to reliability only, folds into the cache
+// key (sparse shared sweeps are a distinct realization), and executes
+// end to end into a reliability envelope.
+func TestSharedRequestKeyAndExecution(t *testing.T) {
+	for _, kind := range []string{KindPower, KindFaultMap, KindECCStudy} {
+		r := SweepRequest{Kind: kind, Shared: true}
+		if err := r.Normalize(); err == nil {
+			t.Errorf("kind %s accepted shared", kind)
+		}
+	}
+
+	base := SweepRequest{
+		Kind:     KindReliability,
+		Grid:     []float64{0.90, 0.89},
+		Patterns: []string{"all1", "all0"},
+		Ports:    []int{18},
+		Batch:    2,
+	}
+	shared := base
+	shared.Shared = true
+	key := func(r SweepRequest) uint64 {
+		t.Helper()
+		if err := r.Normalize(); err != nil {
+			t.Fatal(err)
+		}
+		k, err := r.CacheKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+	if key(base) == key(shared) {
+		t.Fatal("shared not folded into the cache key")
+	}
+
+	m := NewManager(Config{Workers: 1})
+	defer m.Close()
+	j, _, _, err := m.Submit(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := j.Wait(context.Background()); err != nil || st != StateDone {
+		t.Fatalf("wait = %v, %v (%s)", st, err, j.Err())
+	}
+	env, err := DecodeResult(j.Payload())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Reliability == nil || !env.Request.Shared {
+		t.Fatalf("shared sweep envelope malformed: %+v", env.Request)
+	}
+	if len(env.Reliability.Points) != 2 {
+		t.Fatalf("points = %d", len(env.Reliability.Points))
+	}
+	// Shared and legacy keys resolve to distinct computations.
+	j2, coalesced, _, err := m.Submit(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coalesced {
+		t.Fatal("legacy request coalesced onto the shared job")
+	}
+	if st, err := j2.Wait(context.Background()); err != nil || st != StateDone {
+		t.Fatalf("wait = %v, %v (%s)", st, err, j2.Err())
+	}
+	if bytes.Equal(j.Payload(), j2.Payload()) {
+		// Sparse realizations differ (the request echo alone differs).
+		t.Fatal("shared and legacy payloads identical including request echo")
 	}
 }
