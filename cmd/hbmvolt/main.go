@@ -26,7 +26,11 @@
 //	campaign    execute a declarative experiment campaign (-spec names a
 //	            built-in campaign or a JSON spec file; -out writes the
 //	            manifest and per-scenario NDJSON artifacts; -render
-//	            prints the figure suite from the campaign's payloads)
+//	            prints the figure suite from the campaign's payloads;
+//	            -checkpoint with -cache-dir makes the run crash-safe:
+//	            an interrupted campaign resumes from its journal and
+//	            durable cache, and the finished manifest is
+//	            byte-identical to an uninterrupted run's)
 package main
 
 import (
@@ -55,12 +59,14 @@ var (
 	flagExact = flag.Bool("exact", false, "bit-exact per-cell fault sampling instead of sparse enumeration (slow at full scale; pair with -scale)")
 	flagJ     = flag.Int("j", runtime.GOMAXPROCS(0), "reliability: sweep workers — voltage points are sharded across this many board clones; results are bit-identical at any count (1 = sequential)")
 
-	flagSpec   = flag.String("spec", "paper-repro", "campaign: built-in campaign name or spec file path")
-	flagSmoke  = flag.Bool("smoke", false, "campaign: select a built-in campaign's smoke-scale variant")
-	flagOut    = flag.String("out", "", "campaign: write manifest.json and per-scenario NDJSON artifacts to this directory")
-	flagJobs   = flag.Int("jobs", 2, "campaign: sweeps executing concurrently")
-	flagRender = flag.Bool("render", false, "campaign: also print the human-readable figure suite from the campaign's payloads")
-	flagShared = flag.Bool("shared", false, "campaign: run through the sweep planner — reliability cells grouped by physics sub-key share one stuck-cell enumeration per (voltage, port, rep); a distinct, separately golden-pinned realization")
+	flagSpec       = flag.String("spec", "paper-repro", "campaign: built-in campaign name or spec file path")
+	flagSmoke      = flag.Bool("smoke", false, "campaign: select a built-in campaign's smoke-scale variant")
+	flagOut        = flag.String("out", "", "campaign: write manifest.json and per-scenario NDJSON artifacts to this directory")
+	flagJobs       = flag.Int("jobs", 2, "campaign: sweeps executing concurrently")
+	flagRender     = flag.Bool("render", false, "campaign: also print the human-readable figure suite from the campaign's payloads")
+	flagShared     = flag.Bool("shared", false, "campaign: run through the sweep planner — reliability cells grouped by physics sub-key share one stuck-cell enumeration per (voltage, port, rep); a distinct, separately golden-pinned realization")
+	flagCheckpoint = flag.String("checkpoint", "", "campaign: checkpoint journal path; an interrupted campaign rerun with the same -checkpoint and -cache-dir resumes instead of recomputing")
+	flagCacheDir   = flag.String("cache-dir", "", "campaign: durable result-cache directory (computed cells survive crashes; pairs with -checkpoint)")
 )
 
 func main() {
@@ -206,10 +212,15 @@ func runCampaign() error {
 	if err != nil {
 		return err
 	}
+	if *flagCheckpoint != "" && *flagCacheDir == "" {
+		fmt.Fprintln(os.Stderr, "warning: -checkpoint without -cache-dir records progress but has no durable cache to resume payloads from; completed cells will be recomputed on resume")
+	}
 	res, err := hbmvolt.RunCampaign(context.Background(), spec, hbmvolt.CampaignOptions{
 		Jobs:              *flagJobs,
 		Fleet:             *flagJ,
 		SharedEnumeration: *flagShared,
+		Journal:           *flagCheckpoint,
+		CacheDir:          *flagCacheDir,
 		OnCell: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcampaign %s: %d/%d cells   ", spec.Name, done, total)
 			if done == total {

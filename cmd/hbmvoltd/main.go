@@ -23,6 +23,20 @@
 //	GET    /v1/campaigns/{id}     status (+ manifest when done)
 //	DELETE /v1/campaigns/{id}     cancel remaining cells
 //
+// Resilience (see README "Resilience"):
+//
+//   - -cache-dir backs the result cache with a durable disk tier:
+//     computed sweeps survive a crash or restart and are served
+//     byte-identically (after checksum verification) instead of being
+//     recomputed.
+//   - -rate/-burst enable per-client token-bucket admission control;
+//     rejections carry a Retry-After derived from observed job latency,
+//     as do queue-full 503s.
+//   - On SIGINT/SIGTERM the daemon drains gracefully: it stops
+//     accepting connections, refuses new submissions with 503, lets
+//     in-flight sweeps finish for up to -drain-timeout, flushes the
+//     disk tier, and exits.
+//
 // With -pprof, net/http/pprof is mounted under /debug/pprof/ so
 // campaign-scale CPU and heap profiles can be captured in place:
 //
@@ -40,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -53,35 +68,107 @@ import (
 )
 
 var (
-	flagAddr    = flag.String("addr", "127.0.0.1:8023", "listen address")
-	flagWorkers = flag.Int("workers", 2, "concurrent sweep jobs")
-	flagQueue   = flag.Int("queue", 16, "queued-sweep backlog bound (extra submissions get 503)")
-	flagCache   = flag.Int("cache", 256, "result cache entries (LRU)")
-	flagMaxJobs = flag.Int("max-jobs", 1024, "retained job records (oldest terminal jobs evicted)")
-	flagFleet   = flag.Int("j", runtime.GOMAXPROCS(0), "default board-fleet size per sharded sweep (request \"workers\" overrides)")
-	flagPprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; enables capturing CPU/heap profiles of campaign-scale runs in place)")
+	flagAddr     = flag.String("addr", "127.0.0.1:8023", "listen address")
+	flagWorkers  = flag.Int("workers", 2, "concurrent sweep jobs")
+	flagQueue    = flag.Int("queue", 16, "queued-sweep backlog bound (extra submissions get 503)")
+	flagCache    = flag.Int("cache", 256, "result cache entries (memory LRU)")
+	flagCacheDir = flag.String("cache-dir", "", "durable result-cache directory: computed sweeps survive restarts and crashes (verified on read; empty = memory only)")
+	flagDiskMax  = flag.Int64("cache-disk-bytes", 0, "disk cache payload-byte bound, LRU-evicted (0 = unbounded; needs -cache-dir)")
+	flagMaxJobs  = flag.Int("max-jobs", 1024, "retained job records (oldest terminal jobs evicted)")
+	flagFleet    = flag.Int("j", runtime.GOMAXPROCS(0), "default board-fleet size per sharded sweep (request \"workers\" overrides)")
+	flagRate     = flag.Float64("rate", 0, "per-client submission rate limit in requests/second (0 = off); rejections get 429 with a latency-derived Retry-After")
+	flagBurst    = flag.Int("burst", 8, "per-client token-bucket burst (with -rate)")
+	flagDrain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: in-flight sweeps get this long to finish before being cancelled")
+	flagPprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; enables capturing CPU/heap profiles of campaign-scale runs in place)")
 )
 
-func main() {
-	flag.Parse()
-	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "hbmvoltd:", err)
-		os.Exit(1)
+// options is the daemon's full configuration, decoupled from the flag
+// set so tests can construct and validate it directly.
+type options struct {
+	addr         string
+	workers      int
+	queue        int
+	cache        int
+	cacheDir     string
+	diskMax      int64
+	maxJobs      int
+	fleet        int
+	rate         float64
+	burst        int
+	drainTimeout time.Duration
+	pprof        bool
+	logf         func(format string, args ...any)
+}
+
+func optionsFromFlags() options {
+	return options{
+		addr:         *flagAddr,
+		workers:      *flagWorkers,
+		queue:        *flagQueue,
+		cache:        *flagCache,
+		cacheDir:     *flagCacheDir,
+		diskMax:      *flagDiskMax,
+		maxJobs:      *flagMaxJobs,
+		fleet:        *flagFleet,
+		rate:         *flagRate,
+		burst:        *flagBurst,
+		drainTimeout: *flagDrain,
+		pprof:        *flagPprof,
+		logf:         log.Printf,
 	}
 }
 
-func run() error {
-	if *flagWorkers < 1 || *flagQueue < 1 || *flagCache < 1 || *flagMaxJobs < 1 || *flagFleet < 1 {
+// validate rejects configurations that would misbehave at runtime
+// instead of letting them propagate into confusing failures.
+func (o options) validate() error {
+	if o.workers < 1 || o.queue < 1 || o.cache < 1 || o.maxJobs < 1 || o.fleet < 1 {
 		return errors.New("-workers, -queue, -cache, -max-jobs and -j must all be >= 1")
 	}
-	srv := service.New(service.Config{
-		Workers:      *flagWorkers,
-		QueueDepth:   *flagQueue,
-		CacheEntries: *flagCache,
-		MaxJobs:      *flagMaxJobs,
-		FleetSize:    *flagFleet,
+	if o.rate < 0 {
+		return errors.New("-rate must be >= 0")
+	}
+	if o.rate > 0 && o.burst < 1 {
+		return errors.New("-burst must be >= 1 when -rate is set")
+	}
+	if o.diskMax < 0 {
+		return errors.New("-cache-disk-bytes must be >= 0")
+	}
+	if o.diskMax > 0 && o.cacheDir == "" {
+		return errors.New("-cache-disk-bytes needs -cache-dir")
+	}
+	if o.drainTimeout <= 0 {
+		return errors.New("-drain-timeout must be > 0")
+	}
+	return nil
+}
+
+// daemon is a constructed-but-not-yet-serving hbmvoltd instance.
+type daemon struct {
+	opts options
+	srv  *service.Server
+	http *http.Server
+}
+
+// newDaemon builds the service (opening the durable cache tier, which
+// runs its recovery scan here) and the HTTP stack.
+func newDaemon(o options) (*daemon, error) {
+	if o.logf == nil {
+		o.logf = log.Printf
+	}
+	srv, err := service.Open(service.Config{
+		Workers:        o.workers,
+		QueueDepth:     o.queue,
+		CacheEntries:   o.cache,
+		CacheDir:       o.cacheDir,
+		DiskCacheBytes: o.diskMax,
+		MaxJobs:        o.maxJobs,
+		FleetSize:      o.fleet,
+		RatePerSec:     o.rate,
+		RateBurst:      o.burst,
 	})
-	defer srv.Close()
+	if err != nil {
+		return nil, err
+	}
 
 	// Campaign routes share the sweep manager: campaign cells and ad-hoc
 	// sweeps coalesce in one queue and result cache.
@@ -92,7 +179,7 @@ func run() error {
 	// Profiling routes are opt-in: the handlers are registered on this
 	// mux explicitly (never on http.DefaultServeMux), so without -pprof
 	// nothing introspectable is exposed.
-	if *flagPprof {
+	if o.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -100,31 +187,89 @@ func run() error {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
-	httpSrv := &http.Server{
-		Addr:              *flagAddr,
-		Handler:           mux,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
+	return &daemon{
+		opts: o,
+		srv:  srv,
+		http: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+	}, nil
+}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+// serve accepts connections on ln until ctx is cancelled, then drains
+// gracefully: stop accepting, refuse new submissions, let in-flight
+// sweeps finish within the drain budget, flush the durable cache tier,
+// return. ln is closed by the time serve returns.
+func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
+	o := d.opts
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("hbmvoltd listening on %s (%d workers, queue %d, cache %d, fleet %d)",
-			*flagAddr, *flagWorkers, *flagQueue, *flagCache, *flagFleet)
-		errc <- httpSrv.ListenAndServe()
+		o.logf("hbmvoltd listening on %s (%d workers, queue %d, cache %d, fleet %d, cache-dir %q)",
+			ln.Addr(), o.workers, o.queue, o.cache, o.fleet, o.cacheDir)
+		errc <- d.http.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
+		d.srv.Close()
 		return err
 	case <-ctx.Done():
 	}
-	log.Print("hbmvoltd shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+
+	o.logf("hbmvoltd draining: refusing new work, waiting up to %v for in-flight sweeps", o.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+
+	// Drain the job manager and the HTTP server concurrently: the
+	// manager immediately starts refusing submissions (503 + Retry-After)
+	// and waits for running sweeps, while Shutdown stops accepting
+	// connections and waits for in-flight handlers — including NDJSON
+	// event streams, which end when their jobs reach a terminal state.
+	// Sequencing these would deadlock the stream case.
+	drained := make(chan error, 1)
+	go func() { drained <- d.srv.Manager().Drain(drainCtx) }()
+	shutdownErr := d.http.Shutdown(drainCtx)
+	drainErr := <-drained
+	// Drain closed the manager, which flushed and closed the cache
+	// tiers; Close here is an idempotent no-op kept for the early-exit
+	// path above.
+	d.srv.Close()
+
+	if drainErr != nil {
+		return fmt.Errorf("drain cut short after %v: %w (remaining sweeps cancelled)", o.drainTimeout, drainErr)
+	}
+	if shutdownErr != nil {
+		return shutdownErr
+	}
+	o.logf("hbmvoltd drained cleanly")
+	return nil
+}
+
+// run is the daemon's whole lifecycle: validate, open, listen, serve
+// until ctx says stop, drain.
+func run(ctx context.Context, o options) error {
+	if err := o.validate(); err != nil {
 		return err
 	}
-	return nil
+	d, err := newDaemon(o)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		d.srv.Close()
+		return err
+	}
+	return d.serve(ctx, ln)
+}
+
+func main() {
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, optionsFromFlags()); err != nil {
+		fmt.Fprintln(os.Stderr, "hbmvoltd:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"hbmvolt/internal/service"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	base := options{
+		addr: "127.0.0.1:0", workers: 2, queue: 16, cache: 256,
+		maxJobs: 1024, fleet: 2, drainTimeout: time.Second,
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*options)
+		wantErr string
+	}{
+		{"defaults", func(o *options) {}, ""},
+		{"zero workers", func(o *options) { o.workers = 0 }, ">= 1"},
+		{"zero queue", func(o *options) { o.queue = 0 }, ">= 1"},
+		{"zero cache", func(o *options) { o.cache = 0 }, ">= 1"},
+		{"negative rate", func(o *options) { o.rate = -1 }, "-rate"},
+		{"rate without burst", func(o *options) { o.rate = 2; o.burst = 0 }, "-burst"},
+		{"rate with burst", func(o *options) { o.rate = 2; o.burst = 4 }, ""},
+		{"disk bound without dir", func(o *options) { o.diskMax = 1 << 20 }, "-cache-dir"},
+		{"disk bound with dir", func(o *options) { o.diskMax = 1 << 20; o.cacheDir = "/tmp/x" }, ""},
+		{"negative disk bound", func(o *options) { o.diskMax = -1 }, "-cache-disk-bytes"},
+		{"zero drain timeout", func(o *options) { o.drainTimeout = 0 }, "-drain-timeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base
+			tc.mutate(&o)
+			err := o.validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validate() = %v, want error mentioning %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// startDaemon builds a daemon on an ephemeral port and serves it until
+// the returned cancel function is called; done receives serve's error.
+func startDaemon(t *testing.T, o options) (client *service.Client, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	o.logf = t.Logf
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelCtx := context.WithCancel(context.Background())
+	done = make(chan error, 1)
+	go func() { done <- d.serve(ctx, ln) }()
+	return service.NewClient("http://" + ln.Addr().String()), cancelCtx, done
+}
+
+func testOptions() options {
+	return options{
+		addr: "127.0.0.1:0", workers: 1, queue: 16, cache: 256,
+		maxJobs: 64, fleet: 1, drainTimeout: 30 * time.Second,
+	}
+}
+
+func smokeSweep() service.SweepRequest {
+	return service.SweepRequest{
+		Kind: service.KindReliability, Scale: 1024, Ports: []int{0},
+		Patterns: []string{"all1"}, Grid: []float64{0.90}, Batch: 1,
+	}
+}
+
+func waitServe(t *testing.T, done chan error) {
+	t.Helper()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+// TestDaemonCacheDirWiring is the -cache-dir flag's end-to-end check: a
+// sweep computed by one daemon process is recovered and served — not
+// recomputed — by the next daemon over the same directory.
+func TestDaemonCacheDirWiring(t *testing.T) {
+	dir := t.TempDir()
+	o := testOptions()
+	o.cacheDir = dir
+
+	c, cancel, done := startDaemon(t, o)
+	ctx := context.Background()
+	sub, err := c.Submit(ctx, smokeSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Wait(ctx, sub.ID); err != nil || st != service.StateDone {
+		t.Fatalf("Wait = %v, %v", st, err)
+	}
+	payload, err := c.Result(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	waitServe(t, done)
+
+	c2, cancel2, done2 := startDaemon(t, o)
+	defer func() { cancel2(); waitServe(t, done2) }()
+	h, err := c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DiskCache == nil || h.DiskCache.Recovered != 1 {
+		t.Fatalf("restarted daemon disk cache = %+v, want 1 recovered entry", h.DiskCache)
+	}
+	sub2, err := c2.Submit(ctx, smokeSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c2.Wait(ctx, sub2.ID); err != nil || st != service.StateDone {
+		t.Fatalf("Wait = %v, %v", st, err)
+	}
+	payload2, err := c2.Result(ctx, sub2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != string(payload2) {
+		t.Fatal("restarted daemon served different bytes")
+	}
+	h, err = c2.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SweepRuns != 0 {
+		t.Fatalf("restarted daemon recomputed: sweep_runs = %d, want 0", h.SweepRuns)
+	}
+}
+
+// TestDaemonSignalDrain exercises the production shutdown path against
+// a live listener: SIGTERM (via the same signal.NotifyContext wiring
+// main uses) triggers a graceful drain in which an in-flight sweep
+// still completes and is observable by its client.
+func TestDaemonSignalDrain(t *testing.T) {
+	o := testOptions()
+	o.logf = t.Logf
+	d, err := newDaemon(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- d.serve(ctx, ln) }()
+	c := service.NewClient("http://" + ln.Addr().String())
+
+	sub, err := c.Submit(context.Background(), service.SweepRequest{
+		Kind: service.KindReliability, Scale: 2048, Ports: []int{0, 1},
+		Patterns: []string{"all1", "all0"}, Grid: []float64{0.90, 0.89, 0.88}, Batch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Follow the job's event stream; the first delivered event proves the
+	// stream is an established in-flight handler before the signal lands.
+	// (A connection attempted after Shutdown would just be refused — the
+	// drain contract is about work already in flight.)
+	events := make(chan service.Event, 64)
+	streamDone := make(chan error, 1)
+	go func() {
+		streamDone <- c.Stream(context.Background(), sub.ID, func(e service.Event) error {
+			events <- e
+			return nil
+		})
+	}()
+	var last service.Event
+	select {
+	case last = <-events:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no event arrived on the stream")
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitServe(t, done)
+
+	// The drain kept the stream alive to the sweep's terminal event: the
+	// handler ended cleanly and the last event is "done", not a cut.
+	select {
+	case err := <-streamDone:
+		if err != nil {
+			t.Fatalf("stream cut during drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream never finished during drain")
+	}
+	for {
+		select {
+		case e := <-events:
+			last = e
+			continue
+		default:
+		}
+		break
+	}
+	if last.Type != string(service.StateDone) {
+		t.Fatalf("stream ended on %q, want %q (drain should finish the sweep)", last.Type, service.StateDone)
+	}
+}

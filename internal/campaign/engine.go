@@ -27,6 +27,23 @@ type Options struct {
 	// OnCell, when non-nil, is called after each completed (cell,
 	// repeat) execution with monotone counters.
 	OnCell func(done, total int)
+	// Journal, when non-empty, is the path of the campaign's checkpoint
+	// journal (see journal.go): completed cells are recorded durably as
+	// the campaign runs, and a rerun over the same journal resumes —
+	// journaled cells still present in the manager's cache are served
+	// from it, everything else is recomputed — yielding a manifest
+	// byte-identical to an uninterrupted run's. Checkpointing pairs with
+	// a durable cache (CacheDir here, or a daemon manager opened with
+	// one): without it a restarted process has nothing to resume from
+	// and recomputes every cell.
+	Journal string
+	// CacheDir, when non-empty, backs Run's private manager with the
+	// durable disk cache tier rooted there (service.Config.CacheDir), so
+	// computed cells survive a crash. Ignored by Execute, which uses the
+	// caller's manager.
+	CacheDir string
+	// DiskCacheBytes bounds the disk tier (0 = unbounded).
+	DiskCacheBytes int64
 	// SharedEnumeration runs the campaign through the sweep planner:
 	// reliability cells are grouped by their (fault-model fingerprint ×
 	// voltage grid × sampling mode) physics sub-key, switched to
@@ -117,11 +134,16 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 	if queue < 16 {
 		queue = 16
 	}
-	mgr := service.NewManager(service.Config{
-		Workers:    jobs,
-		QueueDepth: queue,
-		FleetSize:  1,
+	mgr, err := service.OpenManager(service.Config{
+		Workers:        jobs,
+		QueueDepth:     queue,
+		FleetSize:      1,
+		CacheDir:       opts.CacheDir,
+		DiskCacheBytes: opts.DiskCacheBytes,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", spec.Name, err)
+	}
 	defer mgr.Close()
 	return Execute(ctx, mgr, spec, opts)
 }
@@ -162,7 +184,46 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 		order = plan.submissionOrder(len(cells))
 	}
 
-	// One execution per (cell, repeat), in schedule order.
+	total := 0
+	for i := range cells {
+		total += cells[i].Repeat
+	}
+	payloads := make([][]byte, len(cells))
+	done := 0
+
+	// Checkpoint journal: replay completed cells, serving the ones whose
+	// payloads survive in the manager's cache with a matching checksum.
+	// A journaled cell whose cache entry was lost (evicted, or discarded
+	// as corrupt by the disk tier's verification) is simply recomputed.
+	var jr *journal
+	if opts.Journal != "" {
+		jr, err = openJournal(opts.Journal, &spec, len(cells), opts.SharedEnumeration)
+		if err != nil {
+			return nil, fmt.Errorf("campaign %s: %w", spec.Name, err)
+		}
+		defer jr.Close()
+		for i := range cells {
+			rec, ok := jr.completed(i)
+			if !ok || rec.Key != service.FormatKey(cells[i].Key) {
+				continue
+			}
+			payload, ok := mgr.Cached(cells[i].Key)
+			if !ok {
+				continue
+			}
+			sum := sha256.Sum256(payload)
+			if hex.EncodeToString(sum[:]) != rec.SHA256 {
+				continue
+			}
+			payloads[i] = payload
+			done += cells[i].Repeat
+			if opts.OnCell != nil {
+				opts.OnCell(done, total)
+			}
+		}
+	}
+
+	// One execution per unfinished (cell, repeat), in schedule order.
 	var execs []execution
 	defer func() {
 		if err == nil {
@@ -172,12 +233,11 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 			mgr.Cancel(e.job.ID)
 		}
 	}()
-	total := 0
-	for i := range cells {
-		total += cells[i].Repeat
-	}
 	for _, i := range order {
 		c := &cells[i]
+		if payloads[i] != nil {
+			continue // resumed from the journal
+		}
 		for rep := 0; rep < c.Repeat; rep++ {
 			req := c.Request
 			req.Workers = fleet
@@ -205,9 +265,13 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 	// job, so the equality check below guards the coalescing/cache
 	// layer's consistency, not independent re-executions.
 	res = &Result{Spec: spec}
-	payloads := make([][]byte, len(cells))
-	done := 0
 	for _, e := range execs {
+		// Wait returns a terminal job's state even under a cancelled
+		// context; check explicitly so cancellation stops the campaign at
+		// the next cell boundary instead of racing job completion.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("campaign %s: %w", spec.Name, cerr)
+		}
 		c := &cells[e.cell]
 		st, werr := e.job.Wait(ctx)
 		if werr != nil {
@@ -225,6 +289,11 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 		payload := e.job.Payload()
 		if payloads[e.cell] == nil {
 			payloads[e.cell] = payload
+			if jr != nil {
+				if jerr := jr.append(e.cell, c.Key, payload); jerr != nil {
+					return nil, fmt.Errorf("campaign %s: %w", spec.Name, jerr)
+				}
+			}
 		} else if !bytes.Equal(payloads[e.cell], payload) {
 			return nil, fmt.Errorf("campaign %s: scenario %q cell %d: repeat produced a different payload (determinism violation)",
 				spec.Name, c.Scenario, c.Index)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"hbmvolt/internal/service"
@@ -121,6 +122,14 @@ const maxBody = 4 << 20
 const maxActiveRuns = 16
 
 func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Campaign submissions draw admission tokens from the same
+	// per-client bucket as sweep submissions: a client cannot dodge its
+	// rate by wrapping sweeps in campaigns.
+	if ok, retryAfter := a.mgr.AllowClient(service.ClientKey(r)); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		service.WriteError(w, http.StatusTooManyRequests, "client %s over submission rate", service.ClientKey(r))
+		return
+	}
 	var body SubmitBody
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
@@ -160,7 +169,9 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if active := a.activeLocked(); active >= maxActiveRuns {
 		a.mu.Unlock()
 		cancel()
-		w.Header().Set("Retry-After", "1")
+		// Retry-After reflects the sweep queue the running campaigns are
+		// draining through — observed job latency, not a hardcoded guess.
+		w.Header().Set("Retry-After", strconv.Itoa(a.mgr.RetryAfterSeconds()))
 		service.WriteError(w, http.StatusServiceUnavailable,
 			"%d campaigns already running (max %d)", active, maxActiveRuns)
 		return

@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedInjectIsNil(t *testing.T) {
+	if Enabled() {
+		t.Fatal("no plan armed, Enabled() = true")
+	}
+	if err := Inject("any.site"); err != nil {
+		t.Fatalf("disarmed Inject = %v, want nil", err)
+	}
+}
+
+func TestErrorInjectionWindow(t *testing.T) {
+	boom := errors.New("boom")
+	plan := NewPlan().Set("t.op", Fault{Err: boom, After: 2, Count: 2})
+	defer Activate(plan)()
+
+	var got []error
+	for i := 0; i < 6; i++ {
+		got = append(got, Inject("t.op"))
+	}
+	want := []error{nil, nil, boom, boom, nil, nil}
+	for i := range want {
+		if !errors.Is(got[i], want[i]) && got[i] != want[i] {
+			t.Fatalf("pass %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if f := plan.Fired("t.op"); f != 2 {
+		t.Fatalf("Fired = %d, want 2", f)
+	}
+	if s := plan.Seen("t.op"); s != 6 {
+		t.Fatalf("Seen = %d, want 6", s)
+	}
+}
+
+func TestUnarmedSitePassesThrough(t *testing.T) {
+	defer Activate(NewPlan().Set("t.other", Fault{Err: errors.New("x")}))()
+	if err := Inject("t.op"); err != nil {
+		t.Fatalf("unarmed site Inject = %v, want nil", err)
+	}
+}
+
+func TestCallbackAndSleep(t *testing.T) {
+	fired := 0
+	plan := NewPlan().Set("t.cb", Fault{Sleep: time.Millisecond, Callback: func() { fired++ }, Count: 1})
+	defer Activate(plan)()
+	start := time.Now()
+	if err := Inject("t.cb"); err != nil {
+		t.Fatalf("Inject = %v, want nil (callback-only fault)", err)
+	}
+	if fired != 1 {
+		t.Fatalf("callback fired %d times, want 1", fired)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Sleep not applied")
+	}
+	Inject("t.cb")
+	if fired != 1 {
+		t.Fatal("Count=1 fault fired twice")
+	}
+}
+
+func TestRestoreReinstatesPreviousPlan(t *testing.T) {
+	outerErr := errors.New("outer")
+	restoreOuter := Activate(NewPlan().Set("t.nest", Fault{Err: outerErr}))
+	defer restoreOuter()
+	restoreInner := Activate(NewPlan()) // inner plan: site unarmed
+	if err := Inject("t.nest"); err != nil {
+		t.Fatalf("inner plan Inject = %v, want nil", err)
+	}
+	restoreInner()
+	if err := Inject("t.nest"); !errors.Is(err, outerErr) {
+		t.Fatalf("after restore Inject = %v, want outer error", err)
+	}
+}
+
+func TestWrap(t *testing.T) {
+	real := errors.New("real")
+	if err := Wrap("t.wrap", real); !errors.Is(err, real) {
+		t.Fatalf("disarmed Wrap = %v, want real error", err)
+	}
+	injected := errors.New("injected")
+	defer Activate(NewPlan().Set("t.wrap", Fault{Err: injected}))()
+	if err := Wrap("t.wrap", nil); !errors.Is(err, injected) {
+		t.Fatalf("armed Wrap = %v, want injected error", err)
+	}
+}

@@ -30,7 +30,13 @@ type Cache[K comparable, V any] struct {
 	bytes      int64
 	order      *list.List // front = most recently used
 	entries    map[K]*list.Element
+	onEvict    func(K, V)
 }
+
+// OnEvict registers a callback invoked for every entry dropped by
+// capacity eviction (not by Remove) — the disk cache tier uses it to
+// unlink the evicted entry's file. Pass nil to clear.
+func (c *Cache[K, V]) OnEvict(fn func(K, V)) { c.onEvict = fn }
 
 // New builds a cache bounded by maxEntries and maxBytes; zero disables
 // the respective bound.
@@ -73,8 +79,26 @@ func (c *Cache[K, V]) Add(key K, value V, size int64) (evicted int) {
 		delete(c.entries, ent.key)
 		c.bytes -= ent.size
 		evicted++
+		if c.onEvict != nil {
+			c.onEvict(ent.key, ent.val)
+		}
 	}
 	return evicted
+}
+
+// Remove drops key from the cache (no OnEvict callback — the caller
+// chose the removal and owns any cleanup), reporting whether it was
+// present.
+func (c *Cache[K, V]) Remove(key K) bool {
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	ent := el.Value.(*entry[K, V])
+	c.order.Remove(el)
+	delete(c.entries, key)
+	c.bytes -= ent.size
+	return true
 }
 
 // Len returns the live entry count.

@@ -41,6 +41,33 @@ func TestByteAndEntryBounds(t *testing.T) {
 	}
 }
 
+func TestRemoveAndOnEvict(t *testing.T) {
+	c := New[int, string](2, 0)
+	var evicted []int
+	c.OnEvict(func(k int, _ string) { evicted = append(evicted, k) })
+	c.Add(1, "a", 10)
+	c.Add(2, "b", 10)
+	// Remove bypasses OnEvict: the caller owns that cleanup.
+	if !c.Remove(1) {
+		t.Fatal("Remove(1) = false, want true")
+	}
+	if c.Remove(1) {
+		t.Fatal("second Remove(1) = true, want false")
+	}
+	if c.Len() != 1 || c.Bytes() != 10 {
+		t.Fatalf("len=%d bytes=%d after Remove, want 1/10", c.Len(), c.Bytes())
+	}
+	if len(evicted) != 0 {
+		t.Fatalf("Remove invoked OnEvict: %v", evicted)
+	}
+	// Capacity eviction does invoke it, oldest first.
+	c.Add(3, "c", 10)
+	c.Add(4, "d", 10)
+	if len(evicted) != 1 || evicted[0] != 2 {
+		t.Fatalf("OnEvict saw %v, want [2]", evicted)
+	}
+}
+
 func TestUnboundedDimensions(t *testing.T) {
 	c := New[int, int](0, 50) // entries unbounded, bytes bounded
 	for i := 0; i < 10; i++ {

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker keeps a sliding window of recent job durations and
+// answers the question overload handling needs: "how long until a queue
+// slot frees up?" — the observed median job latency, not a guess.
+type latencyTracker struct {
+	mu sync.Mutex
+	// window is a ring of the most recent job durations.
+	window []time.Duration
+	next   int
+	filled bool
+}
+
+// latencyWindow is the number of recent jobs the median is computed
+// over — large enough to smooth one outlier sweep, small enough to
+// track a workload shift within a few dozen jobs.
+const latencyWindow = 64
+
+func newLatencyTracker() *latencyTracker {
+	return &latencyTracker{window: make([]time.Duration, latencyWindow)}
+}
+
+// Observe records one completed job's duration.
+func (t *latencyTracker) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.window[t.next] = d
+	t.next++
+	if t.next == len(t.window) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Median returns the median duration over the window, or 0 before any
+// observation (callers supply their own floor).
+func (t *latencyTracker) Median() time.Duration {
+	t.mu.Lock()
+	n := t.next
+	if t.filled {
+		n = len(t.window)
+	}
+	if n == 0 {
+		t.mu.Unlock()
+		return 0
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, t.window[:n])
+	t.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	return samples[n/2]
+}
+
+// retryAfterSeconds converts "depth jobs ahead of you, served by
+// workers workers, at median latency per job" into the whole seconds a
+// client should wait before retrying: the expected time for the backlog
+// to drain, floored at 1 s (the protocol's minimum useful hint) and
+// capped at 5 min (past that the number is noise, not guidance).
+func retryAfterSeconds(depth, workers int, median time.Duration) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if median <= 0 {
+		median = time.Second // no observations yet: the old hardcoded hint
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	wait := time.Duration(math.Ceil(float64(depth)/float64(workers))) * median
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 300 {
+		secs = 300
+	}
+	return secs
+}
+
+// rateLimiter is a per-client token-bucket admission gate: each client
+// key (the request's remote host, or its X-Client-ID header when set)
+// gets a bucket of Burst tokens refilling at Rate tokens/second. A
+// submission costs one token; an empty bucket means 429 with a
+// Retry-After telling the client when the next token lands.
+//
+// Buckets for idle clients are evicted once the map exceeds maxClients,
+// so an address-churning flood cannot grow memory without bound (a
+// fresh bucket starts full, so eviction can only ever under-throttle,
+// never lock a legitimate client out).
+type rateLimiter struct {
+	rate  float64 // tokens per second
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	denied  uint64
+
+	// now is the clock, injectable in tests.
+	now func() time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxClients bounds the bucket map.
+const maxClients = 16384
+
+// newRateLimiter builds a limiter; rate <= 0 disables limiting (Allow
+// always succeeds).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// Allow spends one token from client's bucket. When the bucket is
+// empty it reports false plus the seconds (whole, >= 1) until a token
+// is available.
+func (l *rateLimiter) Allow(client string) (ok bool, retryAfter int) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, found := l.buckets[client]
+	if !found {
+		if len(l.buckets) >= maxClients {
+			l.evictIdleLocked(now)
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	l.denied++
+	need := (1 - b.tokens) / l.rate
+	secs := int(math.Ceil(need))
+	if secs < 1 {
+		secs = 1
+	}
+	return false, secs
+}
+
+// Denied returns the cumulative rejected-submission count.
+func (l *rateLimiter) Denied() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.denied
+}
+
+// evictIdleLocked drops buckets that have been idle long enough to have
+// refilled completely — forgetting them is behaviorally invisible.
+func (l *rateLimiter) evictIdleLocked(now time.Time) {
+	full := time.Duration(l.burst / l.rate * float64(time.Second))
+	for key, b := range l.buckets {
+		if now.Sub(b.last) > full {
+			delete(l.buckets, key)
+		}
+	}
+	// Pathological case: every bucket is hot. Admission correctness
+	// (fresh buckets start full) lets us drop arbitrary entries rather
+	// than grow without bound.
+	for key := range l.buckets {
+		if len(l.buckets) < maxClients {
+			break
+		}
+		delete(l.buckets, key)
+	}
+}

@@ -6,12 +6,89 @@ import (
 	"hbmvolt/internal/lru"
 )
 
-// resultCache is a bounded LRU over marshaled result payloads, keyed by
-// the request cache key. It survives job eviction: once a sweep's bytes
-// are in here, a repeat of the same request is answered without
-// recomputation until capacity pressure ages the entry out. Payload
-// slices are stored and returned by reference and must be treated as
-// immutable by all parties.
+// CacheTier is one storage level of the result cache: a payload store
+// keyed by the request cache key. Payload slices are stored and
+// returned by reference and must be treated as immutable by all
+// parties; by the determinism contract a key's payload never changes,
+// so every tier keeps the first write. Implementations are safe for
+// concurrent use.
+//
+// The service ships two tiers — the in-process MemoryTier (LRU) and the
+// crash-durable DiskTier — composed memory→disk write-through by the
+// manager. The interface is the seam the distributed-fabric roadmap
+// item plugs into (a Redis tier is another implementation, not another
+// cache).
+type CacheTier interface {
+	// Get returns the payload for key, refreshing its recency.
+	Get(key uint64) ([]byte, bool)
+	// Put stores a payload. Storing an existing key refreshes recency
+	// only; the stored bytes never change.
+	Put(key uint64, payload []byte)
+	// Len returns the live entry count.
+	Len() int
+	// Bytes returns the total payload bytes currently retained.
+	Bytes() int64
+	// Close flushes and releases the tier. The tier must not be used
+	// afterwards.
+	Close() error
+}
+
+// MemoryTier is the in-process CacheTier: a byte- and entry-bounded LRU
+// over payload bytes (internal/lru).
+type MemoryTier struct {
+	mu  sync.Mutex
+	lru *lru.Cache[uint64, []byte]
+}
+
+// NewMemoryTier builds a memory tier bounded by entry count and total
+// payload bytes.
+func NewMemoryTier(capacity int, maxBytes int64) *MemoryTier {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &MemoryTier{lru: lru.New[uint64, []byte](capacity, maxBytes)}
+}
+
+// Get returns the payload for key, marking it most recently used.
+func (t *MemoryTier) Get(key uint64) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Get(key)
+}
+
+// Put stores a payload, evicting least recently used entries while the
+// entry or byte budget is exceeded.
+func (t *MemoryTier) Put(key uint64, payload []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lru.Add(key, payload, int64(len(payload)))
+}
+
+// Len returns the live entry count.
+func (t *MemoryTier) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Len()
+}
+
+// Bytes returns the total payload bytes currently retained.
+func (t *MemoryTier) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Bytes()
+}
+
+// Close is a no-op for the memory tier.
+func (t *MemoryTier) Close() error { return nil }
+
+// resultCache composes the cache tiers memory-first, write-through:
+// a Put lands in every tier, a Get walks tiers top-down and promotes a
+// lower-tier hit back into the tiers above it, so a payload that
+// survived a restart on disk is served from memory from its second
+// read on. It also owns the hit/miss accounting /healthz reports.
 //
 // Eviction pressure is measured in payload bytes (internal/lru),
 // uniformly across result kinds: a campaign analytic envelope (a
@@ -21,76 +98,110 @@ import (
 // entry-count bound still applies on top, so a flood of tiny payloads
 // cannot grow the index without limit.
 type resultCache struct {
-	mu  sync.Mutex
-	lru *lru.Cache[uint64, []byte]
+	mu sync.Mutex
+	// tiers is ordered fastest-first; tiers[0] is always the MemoryTier,
+	// tiers[1] (when present) the DiskTier.
+	tiers []CacheTier
 
 	hits, misses uint64
+	// tierHits[i] counts Gets answered by tiers[i]; tierHits[0] plus
+	// Touch events equals memory-tier hits.
+	tierHits []uint64
 }
 
-func newResultCache(capacity int, maxBytes int64) *resultCache {
-	if capacity < 1 {
-		capacity = 1
-	}
-	if maxBytes < 1 {
-		maxBytes = 1
-	}
-	return &resultCache{lru: lru.New[uint64, []byte](capacity, maxBytes)}
+func newResultCache(tiers ...CacheTier) *resultCache {
+	return &resultCache{tiers: tiers, tierHits: make([]uint64, len(tiers))}
 }
 
-// Get returns the payload for key, marking it most recently used.
+// Get returns the payload for key from the fastest tier holding it,
+// promoting lower-tier hits into the tiers above.
 func (c *resultCache) Get(key uint64) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	payload, ok := c.lru.Get(key)
-	if !ok {
-		c.misses++
-		return nil, false
+	for i, tier := range c.tiers {
+		payload, ok := tier.Get(key)
+		if !ok {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			c.tiers[j].Put(key, payload)
+		}
+		c.hits++
+		c.tierHits[i]++
+		return payload, true
 	}
-	c.hits++
-	return payload, true
+	c.misses++
+	return nil, false
 }
 
-// Put stores a payload, evicting least recently used entries while the
-// entry or byte budget is exceeded. Storing an existing key refreshes
-// its recency; the payload is not replaced — by the determinism
-// contract a key's payload never changes, so the first write wins and
-// stays byte-stable.
+// Put stores a payload write-through: every tier receives it, so a
+// crash after Put returns loses nothing a restart cannot re-read.
 func (c *resultCache) Put(key uint64, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.lru.Add(key, payload, int64(len(payload)))
+	for _, tier := range c.tiers {
+		tier.Put(key, payload)
+	}
 }
 
 // Touch records a served-from-cache event for a payload that may or may
-// not still be resident: a resident entry is refreshed, an evicted one
-// re-inserted. Either way it counts as a hit — the caller served the
-// bytes without recomputation, which is what the hit counter measures.
-// (The coalescing path keeps payloads alive on completed jobs beyond
-// this LRU's horizon.)
+// not still be resident: resident entries are refreshed, evicted ones
+// re-inserted (write-through, so the disk tier re-durables a payload
+// that only survived on a completed job). Either way it counts as a
+// hit — the caller served the bytes without recomputation, which is
+// what the hit counter measures.
 func (c *resultCache) Touch(key uint64, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.hits++
-	c.lru.Add(key, payload, int64(len(payload)))
+	for _, tier := range c.tiers {
+		tier.Put(key, payload)
+	}
 }
 
-// Len returns the live entry count.
-func (c *resultCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
-}
+// Len returns the live entry count of the memory tier.
+func (c *resultCache) Len() int { return c.tiers[0].Len() }
 
-// Bytes returns the total payload bytes currently retained.
-func (c *resultCache) Bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Bytes()
-}
+// Bytes returns the payload bytes retained by the memory tier.
+func (c *resultCache) Bytes() int64 { return c.tiers[0].Bytes() }
 
-// Stats returns cumulative hit/miss counters.
+// Stats returns cumulative hit/miss counters (hits across all tiers).
 func (c *resultCache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// disk returns the disk tier, if one is configured.
+func (c *resultCache) disk() (*DiskTier, bool) {
+	for _, tier := range c.tiers {
+		if d, ok := tier.(*DiskTier); ok {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// diskHits returns the cumulative Gets answered by the disk tier.
+func (c *resultCache) diskHits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.tierHits) > 1 {
+		return c.tierHits[1]
+	}
+	return 0
+}
+
+// Close releases every tier (slowest first, so the durable tier's final
+// flush happens while the process is still healthy).
+func (c *resultCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for i := len(c.tiers) - 1; i >= 0; i-- {
+		if err := c.tiers[i].Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

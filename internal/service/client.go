@@ -7,12 +7,23 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Client is a typed consumer of the sweep service API. The zero value
 // is not usable; construct with NewClient.
+//
+// Every idempotent call (which is all of them — Submit is idempotent by
+// the service's determinism contract: resubmitting a request coalesces
+// or cache-hits, it never recomputes different bytes) retries
+// transparently on 429/503, honoring the server's Retry-After hint with
+// exponential backoff and jitter between attempts. Stream does not
+// retry (it holds one connection open); Wait recovers from a dropped
+// stream by falling back to status polling instead.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8023".
 	BaseURL string
@@ -20,6 +31,15 @@ type Client struct {
 	// connection open for the sweep's lifetime, so the client must not
 	// impose an overall request timeout.
 	HTTPClient *http.Client
+	// Retries is the number of additional attempts after a 429/503
+	// (0 → 4; negative disables retrying).
+	Retries int
+	// RetryBase is the first backoff step (0 → 200ms); step i waits
+	// max(Retry-After, RetryBase×2^i) plus up to RetryBase of jitter.
+	RetryBase time.Duration
+	// PollInterval paces Wait's status-polling fallback after a dropped
+	// event stream (0 → 250ms).
+	PollInterval time.Duration
 }
 
 // NewClient builds a client for a server root URL.
@@ -31,21 +51,56 @@ func NewClient(baseURL string) *Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint in seconds (0 when the
+	// response carried none).
+	RetryAfter int
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("service: HTTP %d: %s", e.StatusCode, e.Message)
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+// retryable reports whether the error is the server shedding load —
+// worth retrying later, as opposed to a request that can never succeed.
+func (e *APIError) retryable() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode == http.StatusServiceUnavailable
+}
+
+func (c *Client) retries() int {
+	if c.Retries < 0 {
+		return 0
+	}
+	if c.Retries == 0 {
+		return 4
+	}
+	return c.Retries
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase <= 0 {
+		return 200 * time.Millisecond
+	}
+	return c.RetryBase
+}
+
+// doOnce performs a single request attempt. body may be nil.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
-	resp, err := c.HTTPClient.Do(req)
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
 	if err != nil {
 		return nil, err
 	}
@@ -56,12 +111,48 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader) (*
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
+		apiErr := &APIError{StatusCode: resp.StatusCode, Message: msg}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			apiErr.RetryAfter = ra
+		}
+		return nil, apiErr
 	}
 	return resp, nil
 }
 
-func (c *Client) doJSON(ctx context.Context, method, path string, body io.Reader, out any) error {
+// do performs a request with retry: 429/503 responses are retried with
+// exponential backoff and jitter, waiting at least the server's
+// Retry-After. Everything the client exposes except Stream goes through
+// here.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.doOnce(ctx, method, path, body)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		apiErr, ok := err.(*APIError)
+		if !ok || !apiErr.retryable() || attempt >= c.retries() {
+			return nil, lastErr
+		}
+		base := c.retryBase()
+		wait := base << attempt
+		if ra := time.Duration(apiErr.RetryAfter) * time.Second; ra > wait {
+			wait = ra
+		}
+		// Full jitter on one base step, so synchronized clients (a
+		// campaign fan-out hitting one 503) desynchronize.
+		wait += time.Duration(rand.Int64N(int64(base)))
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (c *Client) doJSON(ctx context.Context, method, path string, body []byte, out any) error {
 	resp, err := c.do(ctx, method, path, body)
 	if err != nil {
 		return err
@@ -70,14 +161,16 @@ func (c *Client) doJSON(ctx context.Context, method, path string, body io.Reader
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Submit posts a sweep request and returns the job handle.
+// Submit posts a sweep request and returns the job handle. Submission
+// is idempotent (identical requests coalesce server-side), so it
+// retries on 429/503 like every other call.
 func (c *Client) Submit(ctx context.Context, req SweepRequest) (SubmitResponse, error) {
 	blob, err := json.Marshal(req)
 	if err != nil {
 		return SubmitResponse{}, err
 	}
 	var out SubmitResponse
-	err = c.doJSON(ctx, http.MethodPost, "/v1/sweeps", bytes.NewReader(blob), &out)
+	err = c.doJSON(ctx, http.MethodPost, "/v1/sweeps", blob, &out)
 	return out, err
 }
 
@@ -102,9 +195,11 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 
 // Stream follows a job's NDJSON event stream, invoking fn per event
 // until the stream ends (terminal event), fn returns an error, or ctx
-// is cancelled. It returns nil on a completed stream.
+// is cancelled. It returns nil on a completed stream. It does not
+// retry: a stream that dies mid-job surfaces its transport error (Wait
+// layers reconnection-by-polling on top).
 func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) error {
-	resp, err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/events", nil)
+	resp, err := c.doOnce(ctx, http.MethodGet, "/v1/sweeps/"+id+"/events", nil)
 	if err != nil {
 		return err
 	}
@@ -127,23 +222,47 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) er
 	return sc.Err()
 }
 
-// Wait streams events until the job reaches a terminal state and
-// returns that state.
+// Wait blocks until the job reaches a terminal state and returns it.
+// It prefers the NDJSON event stream (cheap, push-based); if the stream
+// disconnects mid-job — server restart, dropped connection, proxy
+// timeout — it falls back to polling Status instead of surfacing the
+// scanner error, so callers see the job's real outcome whenever one
+// exists.
 func (c *Client) Wait(ctx context.Context, id string) (JobState, error) {
 	last := JobState("")
-	err := c.Stream(ctx, id, func(e Event) error {
+	// The stream error is deliberately ignored: whether it died with a
+	// transport error or the server closed it cleanly mid-job, the only
+	// trustworthy source for the outcome is now Status.
+	_ = c.Stream(ctx, id, func(e Event) error {
 		if JobState(e.Type).terminal() {
 			last = JobState(e.Type)
 		}
 		return nil
 	})
-	if err != nil {
-		return "", err
+	if last != "" {
+		return last, nil
 	}
-	if last == "" {
-		return "", fmt.Errorf("service: event stream for %s ended without a terminal event", id)
+	if ctx.Err() != nil {
+		return "", ctx.Err()
 	}
-	return last, nil
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return "", fmt.Errorf("service: waiting for %s after stream loss: %w", id, err)
+		}
+		if st.State.terminal() {
+			return st.State, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
 }
 
 // Cancel requests cancellation and returns the job's status.

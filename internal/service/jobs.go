@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hbmvolt/internal/board"
 	"hbmvolt/internal/core"
@@ -222,6 +223,22 @@ type Config struct {
 	// FleetSize is the default per-sweep board-fleet size when a request
 	// leaves Workers at 0 (default 1, sequential).
 	FleetSize int
+	// CacheDir, when non-empty, adds the crash-durable disk tier under
+	// this directory: completed payloads are written through to disk and
+	// survive process restarts (verified per-entry on read; see
+	// DiskTier). Constructors that cannot return an error (NewManager,
+	// New) reject a non-empty CacheDir — use OpenManager / Open.
+	CacheDir string
+	// DiskCacheBytes bounds the disk tier's total payload bytes
+	// (0 = unbounded; LRU files are unlinked under pressure).
+	DiskCacheBytes int64
+	// RatePerSec enables per-client token-bucket admission on
+	// submissions: each client refills at this rate up to RateBurst
+	// tokens (0 disables rate limiting).
+	RatePerSec float64
+	// RateBurst is the per-client bucket size (default 8 when rate
+	// limiting is enabled).
+	RateBurst int
 }
 
 func (c *Config) fill() {
@@ -243,11 +260,18 @@ func (c *Config) fill() {
 	if c.FleetSize <= 0 {
 		c.FleetSize = 1
 	}
+	if c.RatePerSec > 0 && c.RateBurst <= 0 {
+		c.RateBurst = 8
+	}
 }
 
 // ErrQueueFull is returned by Submit when the bounded queue is at
 // capacity (HTTP 503).
 var ErrQueueFull = errors.New("service: sweep queue full")
+
+// ErrDraining is returned by Submit while the manager drains for
+// shutdown (HTTP 503): in-flight jobs finish, new work is refused.
+var ErrDraining = errors.New("service: draining for shutdown")
 
 // errShutdown is returned by Submit after Close.
 var errShutdown = errors.New("service: manager is shut down")
@@ -256,17 +280,20 @@ var errShutdown = errors.New("service: manager is shut down")
 // driving sweeps through internal/core, and the result LRU. It
 // coalesces identical submissions: one live job per cache key.
 type Manager struct {
-	cfg   Config
-	cache *resultCache
+	cfg     Config
+	cache   *resultCache
+	latency *latencyTracker
+	limiter *rateLimiter
 
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	nextID uint64
-	jobs   map[string]*Job
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	nextID   uint64
+	jobs     map[string]*Job
 	// byKey maps a cache key to its coalescing target: the live (or
 	// successfully completed) job for that key.
 	byKey map[uint64]*Job
@@ -285,13 +312,40 @@ type Manager struct {
 	runSweep func(ctx context.Context, j *Job) ([]byte, error)
 }
 
-// NewManager builds a manager and starts its worker pool.
+// NewManager builds an in-memory-only manager and starts its worker
+// pool. A Config naming a CacheDir needs the error-returning
+// OpenManager; passing one here panics (a programmer error, not a
+// runtime condition).
 func NewManager(cfg Config) *Manager {
+	if cfg.CacheDir != "" {
+		panic("service.NewManager: Config.CacheDir requires OpenManager")
+	}
+	m, err := OpenManager(cfg)
+	if err != nil {
+		panic(err) // unreachable: only the disk tier can fail to open
+	}
+	return m
+}
+
+// OpenManager builds a manager — opening the disk cache tier (with its
+// boot recovery scan) when cfg.CacheDir is set — and starts its worker
+// pool.
+func OpenManager(cfg Config) (*Manager, error) {
 	cfg.fill()
+	tiers := []CacheTier{NewMemoryTier(cfg.CacheEntries, cfg.CacheBytes)}
+	if cfg.CacheDir != "" {
+		disk, err := NewDiskTier(cfg.CacheDir, cfg.DiskCacheBytes, nil)
+		if err != nil {
+			return nil, err
+		}
+		tiers = append(tiers, disk)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
-		cache:   newResultCache(cfg.CacheEntries, cfg.CacheBytes),
+		cache:   newResultCache(tiers...),
+		latency: newLatencyTracker(),
+		limiter: newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
@@ -303,11 +357,11 @@ func NewManager(cfg Config) *Manager {
 		m.wg.Add(1)
 		go m.worker()
 	}
-	return m
+	return m, nil
 }
 
-// Close cancels every running sweep, drains the workers, and rejects
-// further submissions.
+// Close cancels every running sweep, drains the workers, flushes the
+// cache tiers, and rejects further submissions.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -319,6 +373,51 @@ func (m *Manager) Close() {
 	m.mu.Unlock()
 	m.stop()
 	m.wg.Wait()
+	m.cache.Close()
+}
+
+// Drain performs a graceful shutdown: new submissions are refused with
+// ErrDraining, queued and running jobs are given until ctx expires to
+// finish, then the manager closes (cancelling whatever remains and
+// flushing the disk tier). It returns ctx.Err() if the deadline cut the
+// drain short, nil if every job finished.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.draining = true
+	m.mu.Unlock()
+
+	var err error
+	for {
+		var pending *Job
+		m.mu.Lock()
+		for _, j := range m.jobs {
+			if !j.State().terminal() {
+				pending = j
+				break
+			}
+		}
+		m.mu.Unlock()
+		if pending == nil {
+			break
+		}
+		if _, werr := pending.Wait(ctx); werr != nil {
+			err = werr // deadline: stop waiting, force-cancel via Close
+			break
+		}
+	}
+	m.Close()
+	return err
+}
+
+// Draining reports whether Drain has begun.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
 }
 
 // Submit registers a sweep request. The returned bools report whether
@@ -337,6 +436,9 @@ func (m *Manager) Submit(req SweepRequest) (job *Job, coalesced, cacheHit bool, 
 	defer m.mu.Unlock()
 	if m.closed {
 		return nil, false, false, errShutdown
+	}
+	if m.draining {
+		return nil, false, false, ErrDraining
 	}
 	// Coalesce onto the live (or done) job for this key. Failed and
 	// cancelled jobs are not coalescing targets — a resubmission retries.
@@ -457,6 +559,31 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 // Runs returns the number of sweeps actually executed.
 func (m *Manager) Runs() uint64 { return m.runs.Load() }
 
+// Cached returns the byte-stable payload for a cache key if any tier
+// retains it, without scheduling work — the campaign resume path's
+// lookup for journaled cells. Disk-tier entries are checksum-verified
+// by the read, so a corrupted payload reports a miss here and the
+// caller recomputes.
+func (m *Manager) Cached(key uint64) ([]byte, bool) {
+	return m.cache.Get(key)
+}
+
+// AllowClient spends one admission token for client (the per-client
+// token bucket). It reports false plus a Retry-After hint in whole
+// seconds when the client is over its rate; with rate limiting disabled
+// it always admits.
+func (m *Manager) AllowClient(client string) (ok bool, retryAfter int) {
+	return m.limiter.Allow(client)
+}
+
+// RetryAfterSeconds is the server's backpressure hint when a
+// submission is refused for queue depth: the expected time for the
+// current backlog to drain, from observed job latency (queued jobs ÷
+// workers × recent median), floored at 1 s.
+func (m *Manager) RetryAfterSeconds() int {
+	return retryAfterSeconds(len(m.queue)+1, m.cfg.Workers, m.latency.Median())
+}
+
 // Stats summarizes the manager for /healthz.
 type Stats struct {
 	Queued    int `json:"queued"`
@@ -472,6 +599,22 @@ type Stats struct {
 	CacheMisses  uint64 `json:"cache_misses"`
 	Workers      int    `json:"workers"`
 	QueueDepth   int    `json:"queue_depth"`
+	// DiskCache reports the durable tier, when configured: entry/byte
+	// population, reads it answered, and the recovery-scan and
+	// verification counters (recovered / discarded / evicted).
+	DiskCache *DiskStats `json:"disk_cache,omitempty"`
+	// RetryAfterSeconds is the current backpressure hint — what a 503's
+	// Retry-After header would say right now (queue depth × median job
+	// latency ÷ workers).
+	RetryAfterSeconds int `json:"retry_after_seconds"`
+	// MedianJobMillis is the recent median job latency the hint derives
+	// from (0 until the first job completes).
+	MedianJobMillis int64 `json:"median_job_ms"`
+	// RateLimited counts submissions refused by the per-client token
+	// bucket (429s).
+	RateLimited uint64 `json:"rate_limited"`
+	// Draining is true once graceful shutdown has begun.
+	Draining bool `json:"draining,omitempty"`
 	// SharedEnums reports the process-wide shared-enumeration memo store
 	// (the sweep planner's physics cache).
 	SharedEnums faults.EnumStats `json:"shared_enums"`
@@ -486,14 +629,23 @@ func (m *Manager) Stats() Stats {
 	}
 	m.mu.Unlock()
 	st := Stats{
-		SweepRuns:    m.runs.Load(),
-		CacheEntries: m.cache.Len(),
-		CacheBytes:   m.cache.Bytes(),
-		Workers:      m.cfg.Workers,
-		QueueDepth:   m.cfg.QueueDepth,
-		SharedEnums:  faults.EnumStoreStats(),
+		SweepRuns:         m.runs.Load(),
+		CacheEntries:      m.cache.Len(),
+		CacheBytes:        m.cache.Bytes(),
+		Workers:           m.cfg.Workers,
+		QueueDepth:        m.cfg.QueueDepth,
+		RetryAfterSeconds: m.RetryAfterSeconds(),
+		MedianJobMillis:   m.latency.Median().Milliseconds(),
+		RateLimited:       m.limiter.Denied(),
+		Draining:          m.Draining(),
+		SharedEnums:       faults.EnumStoreStats(),
 	}
 	st.CacheHits, st.CacheMisses = m.cache.Stats()
+	if disk, ok := m.cache.disk(); ok {
+		ds := disk.Stats()
+		ds.Hits = m.cache.diskHits()
+		st.DiskCache = &ds
+	}
 	for _, j := range jobs {
 		switch j.State() {
 		case StateQueued:
@@ -527,7 +679,9 @@ func (m *Manager) worker() {
 func (m *Manager) runJob(j *Job) {
 	defer j.cancel()
 	m.runs.Add(1)
+	start := time.Now()
 	payload, err := m.runSweep(j.runCtx, j)
+	m.latency.Observe(time.Since(start))
 	switch {
 	case err == nil:
 		m.cache.Put(j.Key, payload)

@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
 
+	"hbmvolt/internal/chaos"
 	"hbmvolt/internal/report"
 )
 
@@ -16,9 +19,25 @@ type Server struct {
 	mux *http.ServeMux
 }
 
-// New builds a server (and its manager) from cfg.
+// New builds a server (and its manager) from cfg. Like NewManager it is
+// the in-memory-only constructor; a Config naming a CacheDir needs the
+// error-returning Open.
 func New(cfg Config) *Server {
-	s := &Server{mgr: NewManager(cfg), mux: http.NewServeMux()}
+	return newServer(NewManager(cfg))
+}
+
+// Open builds a server whose manager may carry the durable disk cache
+// tier (cfg.CacheDir) — the daemon's constructor.
+func Open(cfg Config) (*Server, error) {
+	mgr, err := OpenManager(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newServer(mgr), nil
+}
+
+func newServer(mgr *Manager) *Server {
+	s := &Server{mgr: mgr, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
@@ -79,7 +98,38 @@ type SubmitResponse struct {
 	CacheHit  bool `json:"cache_hit,omitempty"`
 }
 
+// ClientKey identifies the client a request's admission tokens are
+// charged to: the X-Client-ID header when present (trusted deployments
+// behind a proxy), otherwise the remote host.
+func ClientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Admit spends one of the request's client admission tokens, answering
+// 429 with a Retry-After itself when the client is over rate. It
+// reports whether the request may proceed. Shared with the campaign
+// API, so sweep and campaign submissions draw from one bucket per
+// client.
+func (s *Server) Admit(w http.ResponseWriter, r *http.Request) bool {
+	ok, retryAfter := s.mgr.AllowClient(ClientKey(r))
+	if !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+		WriteError(w, http.StatusTooManyRequests, "client %s over submission rate", ClientKey(r))
+	}
+	return ok
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.Admit(w, r) {
+		return
+	}
 	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
@@ -93,8 +143,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.As(err, &reqErr):
 			WriteError(w, http.StatusBadRequest, "%v", err)
-		case errors.Is(err, ErrQueueFull):
-			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+			// The hint is honest, not hardcoded: expected backlog drain
+			// time from observed job latency.
+			w.Header().Set("Retry-After", strconv.Itoa(s.mgr.RetryAfterSeconds()))
 			WriteError(w, http.StatusServiceUnavailable, "%v", err)
 		default:
 			WriteError(w, http.StatusInternalServerError, "%v", err)
@@ -178,6 +230,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		if nd.Flush() != nil {
 			return // client went away mid-write
+		}
+		if chaos.Inject("service.events") != nil {
+			// Fault injection: drop the stream mid-job without a terminal
+			// event, the way a broken connection looks to the client.
+			return
 		}
 		if flusher != nil && len(evs) > 0 {
 			flusher.Flush()
