@@ -23,6 +23,15 @@
 //	GET    /v1/campaigns/{id}     status (+ manifest when done)
 //	DELETE /v1/campaigns/{id}     cancel remaining cells
 //
+// Fleet mode (see README "Fleet" and internal/fleet): -self + -peers
+// join N daemons into one logical cache. Each sweep's cache key is
+// rendezvous-hashed to exactly one owner node; non-owners forward and
+// the fleet computes each unique sweep once. A dead, slow, or
+// partitioned owner degrades to local compute — byte-identical by the
+// determinism contract — gated by a per-peer circuit breaker fed by an
+// active health prober (-probe-interval) and forward failures, with
+// every call under the -forward-timeout hedging deadline.
+//
 // Resilience (see README "Resilience"):
 //
 //   - -cache-dir backs the result cache with a durable disk tier:
@@ -60,10 +69,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"hbmvolt/internal/campaign"
+	"hbmvolt/internal/fleet"
 	"hbmvolt/internal/service"
 )
 
@@ -80,6 +91,12 @@ var (
 	flagBurst    = flag.Int("burst", 8, "per-client token-bucket burst (with -rate)")
 	flagDrain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: in-flight sweeps get this long to finish before being cancelled")
 	flagPprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; enables capturing CPU/heap profiles of campaign-scale runs in place)")
+
+	flagSelf       = flag.String("self", "", "fleet mode: this node's advertised base URL, e.g. http://10.0.0.1:8023 (requires -peers)")
+	flagPeers      = flag.String("peers", "", "fleet mode: comma-separated peer base URLs; every node should get the identical list (own URL included is fine)")
+	flagFwdTimeout = flag.Duration("forward-timeout", 2*time.Second, "fleet mode: hedging deadline per forwarded HTTP call; an owner slower than this degrades to local compute")
+	flagProbe      = flag.Duration("probe-interval", time.Second, "fleet mode: active health-check period per peer (0 = passive failure detection only)")
+	flagTrustProxy = flag.Bool("trust-proxy", false, "trust X-Forwarded-For for per-client admission buckets (only behind a proxy that overwrites it; the header is spoofable otherwise)")
 )
 
 // options is the daemon's full configuration, decoupled from the flag
@@ -97,7 +114,16 @@ type options struct {
 	burst        int
 	drainTimeout time.Duration
 	pprof        bool
-	logf         func(format string, args ...any)
+
+	// Fleet mode: self is this node's advertised URL, peers the other
+	// nodes'; empty self means standalone.
+	self           string
+	peers          []string
+	forwardTimeout time.Duration
+	probeInterval  time.Duration
+
+	trustProxy bool
+	logf       func(format string, args ...any)
 }
 
 func optionsFromFlags() options {
@@ -114,8 +140,27 @@ func optionsFromFlags() options {
 		burst:        *flagBurst,
 		drainTimeout: *flagDrain,
 		pprof:        *flagPprof,
-		logf:         log.Printf,
+
+		self:           *flagSelf,
+		peers:          splitPeers(*flagPeers),
+		forwardTimeout: *flagFwdTimeout,
+		probeInterval:  *flagProbe,
+
+		trustProxy: *flagTrustProxy,
+		logf:       log.Printf,
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated URLs, empty
+// entries dropped so trailing commas don't become ghost peers.
+func splitPeers(raw string) []string {
+	var peers []string
+	for _, p := range strings.Split(raw, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // validate rejects configurations that would misbehave at runtime
@@ -139,6 +184,20 @@ func (o options) validate() error {
 	if o.drainTimeout <= 0 {
 		return errors.New("-drain-timeout must be > 0")
 	}
+	if len(o.peers) > 0 && o.self == "" {
+		return errors.New("-peers needs -self (peers must know this node by one agreed URL)")
+	}
+	if o.self != "" {
+		if len(o.peers) == 0 {
+			return errors.New("-self needs -peers (a fleet of one is just a daemon)")
+		}
+		if o.forwardTimeout <= 0 {
+			return errors.New("-forward-timeout must be > 0")
+		}
+		if o.probeInterval < 0 {
+			return errors.New("-probe-interval must be >= 0")
+		}
+	}
 	return nil
 }
 
@@ -146,14 +205,31 @@ func (o options) validate() error {
 type daemon struct {
 	opts options
 	srv  *service.Server
+	fwd  *fleet.Forwarder // nil when standalone
 	http *http.Server
 }
 
 // newDaemon builds the service (opening the durable cache tier, which
-// runs its recovery scan here) and the HTTP stack.
+// runs its recovery scan here), the fleet forwarder when peer mode is
+// configured, and the HTTP stack.
 func newDaemon(o options) (*daemon, error) {
 	if o.logf == nil {
 		o.logf = log.Printf
+	}
+	var fwd *fleet.Forwarder
+	if o.self != "" {
+		var err error
+		fwd, err = fleet.New(fleet.Options{
+			Self:           o.self,
+			Peers:          o.peers,
+			ForwardTimeout: o.forwardTimeout,
+			ProbeInterval:  o.probeInterval,
+			Logf:           o.logf,
+		})
+		if err != nil {
+			return nil, err
+		}
+		o.logf("hbmvoltd fleet mode: self %s, %d nodes", fwd.Self(), len(fwd.Nodes()))
 	}
 	srv, err := service.Open(service.Config{
 		Workers:        o.workers,
@@ -165,8 +241,13 @@ func newDaemon(o options) (*daemon, error) {
 		FleetSize:      o.fleet,
 		RatePerSec:     o.rate,
 		RateBurst:      o.burst,
+		TrustProxy:     o.trustProxy,
+		Forwarder:      forwarderOrNil(fwd),
 	})
 	if err != nil {
+		if fwd != nil {
+			fwd.Close()
+		}
 		return nil, err
 	}
 
@@ -190,11 +271,30 @@ func newDaemon(o options) (*daemon, error) {
 	return &daemon{
 		opts: o,
 		srv:  srv,
+		fwd:  fwd,
 		http: &http.Server{
 			Handler:           mux,
 			ReadHeaderTimeout: 10 * time.Second,
 		},
 	}, nil
+}
+
+// forwarderOrNil converts the optional forwarder for Config without
+// turning a nil *fleet.Forwarder into a non-nil interface value.
+func forwarderOrNil(f *fleet.Forwarder) service.Forwarder {
+	if f == nil {
+		return nil
+	}
+	return f
+}
+
+// close releases everything newDaemon opened: the manager (which
+// flushes the cache tiers) and the fleet prober.
+func (d *daemon) close() {
+	d.srv.Close()
+	if d.fwd != nil {
+		d.fwd.Close()
+	}
 }
 
 // serve accepts connections on ln until ctx is cancelled, then drains
@@ -212,7 +312,7 @@ func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
 
 	select {
 	case err := <-errc:
-		d.srv.Close()
+		d.close()
 		return err
 	case <-ctx.Done():
 	}
@@ -232,9 +332,8 @@ func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
 	shutdownErr := d.http.Shutdown(drainCtx)
 	drainErr := <-drained
 	// Drain closed the manager, which flushed and closed the cache
-	// tiers; Close here is an idempotent no-op kept for the early-exit
-	// path above.
-	d.srv.Close()
+	// tiers; close here idempotently covers the forwarder too.
+	d.close()
 
 	if drainErr != nil {
 		return fmt.Errorf("drain cut short after %v: %w (remaining sweeps cancelled)", o.drainTimeout, drainErr)
@@ -258,7 +357,7 @@ func run(ctx context.Context, o options) error {
 	}
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
-		d.srv.Close()
+		d.close()
 		return err
 	}
 	return d.serve(ctx, ln)

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"hbmvolt/internal/fleet"
 	"hbmvolt/internal/service"
 )
 
@@ -34,6 +35,23 @@ func TestOptionsValidate(t *testing.T) {
 		{"disk bound with dir", func(o *options) { o.diskMax = 1 << 20; o.cacheDir = "/tmp/x" }, ""},
 		{"negative disk bound", func(o *options) { o.diskMax = -1 }, "-cache-disk-bytes"},
 		{"zero drain timeout", func(o *options) { o.drainTimeout = 0 }, "-drain-timeout"},
+		{"peers without self", func(o *options) { o.peers = []string{"http://n2:1"} }, "-self"},
+		{"self without peers", func(o *options) { o.self = "http://n1:1" }, "-peers"},
+		{"fleet ok", func(o *options) {
+			o.self = "http://n1:1"
+			o.peers = []string{"http://n2:1"}
+			o.forwardTimeout = time.Second
+		}, ""},
+		{"fleet zero forward timeout", func(o *options) {
+			o.self = "http://n1:1"
+			o.peers = []string{"http://n2:1"}
+		}, "-forward-timeout"},
+		{"fleet negative probe interval", func(o *options) {
+			o.self = "http://n1:1"
+			o.peers = []string{"http://n2:1"}
+			o.forwardTimeout = time.Second
+			o.probeInterval = -time.Second
+		}, "-probe-interval"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -154,6 +172,99 @@ func TestDaemonCacheDirWiring(t *testing.T) {
 	}
 	if h.SweepRuns != 0 {
 		t.Fatalf("restarted daemon recomputed: sweep_runs = %d, want 0", h.SweepRuns)
+	}
+}
+
+func TestSplitPeers(t *testing.T) {
+	got := splitPeers(" http://n1:1, ,http://n2:1,")
+	if len(got) != 2 || got[0] != "http://n1:1" || got[1] != "http://n2:1" {
+		t.Fatalf("splitPeers = %q, want the two URLs with blanks dropped", got)
+	}
+	if splitPeers("") != nil {
+		t.Fatal("empty -peers must parse to no peers")
+	}
+}
+
+// TestDaemonFleetWiring boots two complete daemons in peer mode — the
+// -self/-peers path end to end — submits a sweep to the node that does
+// NOT own its key, and checks the owner computed it, the serve marker
+// says so, and /healthz carries the fleet block.
+func TestDaemonFleetWiring(t *testing.T) {
+	lns := make([]net.Listener, 2)
+	urls := make([]string, 2)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	clients := make([]*service.Client, 2)
+	for i := range lns {
+		o := testOptions()
+		o.logf = t.Logf
+		o.self = urls[i]
+		o.peers = urls
+		o.forwardTimeout = 2 * time.Second
+		o.probeInterval = 0 // passive only: no probe goroutines in this test
+		if err := o.validate(); err != nil {
+			t.Fatal(err)
+		}
+		d, err := newDaemon(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		ln := lns[i]
+		go func() { done <- d.serve(ctx, ln) }()
+		t.Cleanup(func() { cancel(); waitServe(t, done) })
+		clients[i] = service.NewClient(urls[i])
+	}
+
+	// Route the request like the daemons will, then submit it to the
+	// other node so the serve has to cross the fleet.
+	router, err := fleet.New(fleet.Options{Self: urls[0], Peers: urls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer router.Close()
+	req := smokeSweep()
+	if err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	key, err := req.CacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := router.Owner(key)
+	submitTo := 0
+	if owner == urls[0] {
+		submitTo = 1
+	}
+
+	ctx := context.Background()
+	sub, err := clients[submitTo].Submit(ctx, smokeSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := clients[submitTo].Wait(ctx, sub.ID); err != nil || st != service.StateDone {
+		t.Fatalf("Wait = %v, %v", st, err)
+	}
+	st, err := clients[submitTo].Status(ctx, sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ServedBy != owner || st.Degraded {
+		t.Fatalf("status served_by=%q degraded=%v, want healthy serve by owner %s", st.ServedBy, st.Degraded, owner)
+	}
+	h, err := clients[submitTo].Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Fleet == nil {
+		t.Fatal("/healthz has no fleet block in fleet mode")
 	}
 }
 

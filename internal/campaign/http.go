@@ -124,10 +124,13 @@ const maxActiveRuns = 16
 func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Campaign submissions draw admission tokens from the same
 	// per-client bucket as sweep submissions: a client cannot dodge its
-	// rate by wrapping sweeps in campaigns.
-	if ok, retryAfter := a.mgr.AllowClient(service.ClientKey(r)); !ok {
+	// rate by wrapping sweeps in campaigns. The manager's key honors
+	// TrustProxy, so clients behind a trusted proxy get their own
+	// buckets here too.
+	client := a.mgr.ClientKey(r)
+	if ok, retryAfter := a.mgr.AllowClient(client); !ok {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-		service.WriteError(w, http.StatusTooManyRequests, "client %s over submission rate", service.ClientKey(r))
+		service.WriteError(w, http.StatusTooManyRequests, "client %s over submission rate", client)
 		return
 	}
 	var body SubmitBody

@@ -45,6 +45,14 @@ type Fault struct {
 	// Count limits how many times the fault fires; 0 means every pass
 	// once past After.
 	Count int
+	// HTTP selects a transport-level failure mode when the site guards
+	// an HTTP round trip through a chaos.Transport (see transport.go):
+	// connection refused, black hole, slow link, or a response body
+	// severed mid-read. Ignored by plain Inject.
+	HTTP HTTPMode
+	// DropAfter is how many response-body bytes HTTPDropBody lets
+	// through before severing the connection (0 = drop immediately).
+	DropAfter int
 }
 
 // Plan is a set of armed faults keyed by site name. Arm it with

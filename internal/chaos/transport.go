@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// HTTPMode is a transport-level failure shape for sites guarded by a
+// Transport. Each mode reproduces how a distinct real-world network
+// failure looks to an HTTP client:
+//
+//   - HTTPRefuse: the dial fails immediately (peer process dead, port
+//     closed) — the fastest failure a client can observe.
+//   - HTTPBlackhole: the request never completes and never errors on
+//     its own (packet loss, a partition with no RST) — only the
+//     request's context deadline ends it.
+//   - HTTPSlow: the round trip completes but only after Fault.Sleep —
+//     a congested or degraded link that a hedging deadline must cut.
+//   - HTTPDropBody: the response headers arrive intact but the body is
+//     severed after DropAfter bytes (connection reset mid-transfer).
+type HTTPMode string
+
+const (
+	HTTPRefuse    HTTPMode = "refuse"
+	HTTPBlackhole HTTPMode = "blackhole"
+	HTTPSlow      HTTPMode = "slow"
+	HTTPDropBody  HTTPMode = "drop-body"
+)
+
+// Transport is the HTTP fault-injection site: an http.RoundTripper
+// wrapping Base (nil → http.DefaultTransport) that consults the armed
+// plan on every round trip. With no plan armed — every production run —
+// it is a single atomic load and a delegation. Faults without an HTTP
+// mode behave like Inject: Sleep, then Callback, then Err (a non-nil
+// Err fails the round trip; nil passes through to Base).
+type Transport struct {
+	// Site names this transport's injection point, e.g. "fleet.forward".
+	Site string
+	// Base performs real round trips (nil → http.DefaultTransport).
+	Base http.RoundTripper
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper with the site's armed fault
+// applied, honoring the request context throughout so an injected hang
+// never outlives the caller's deadline.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	plan := active.Load()
+	if plan == nil {
+		return t.base().RoundTrip(req)
+	}
+	f, fire := plan.trigger(t.Site)
+	if !fire {
+		return t.base().RoundTrip(req)
+	}
+	if f.Sleep > 0 {
+		select {
+		case <-time.After(f.Sleep):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if f.Callback != nil {
+		f.Callback()
+	}
+	switch f.HTTP {
+	case HTTPRefuse:
+		return nil, fmt.Errorf("chaos %s: dial tcp: connection refused", t.Site)
+	case HTTPBlackhole:
+		<-req.Context().Done()
+		return nil, req.Context().Err()
+	case HTTPSlow:
+		// The delay already happened above; the round trip itself is fine.
+		return t.base().RoundTrip(req)
+	case HTTPDropBody:
+		resp, err := t.base().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &droppingBody{rc: resp.Body, remain: f.DropAfter, site: t.Site}
+		return resp, nil
+	default:
+		if f.Err != nil {
+			return nil, fmt.Errorf("chaos %s: %w", t.Site, f.Err)
+		}
+		return t.base().RoundTrip(req)
+	}
+}
+
+// droppingBody passes through the first remain bytes of a response
+// body, then fails the read the way a reset connection does.
+type droppingBody struct {
+	rc     io.ReadCloser
+	remain int
+	site   string
+}
+
+func (d *droppingBody) Read(p []byte) (int, error) {
+	if d.remain <= 0 {
+		return 0, fmt.Errorf("chaos %s: %w", d.site, io.ErrUnexpectedEOF)
+	}
+	if len(p) > d.remain {
+		p = p[:d.remain]
+	}
+	n, err := d.rc.Read(p)
+	d.remain -= n
+	if err == io.EOF && d.remain <= 0 {
+		// The drop point landed exactly at the real end: still report the
+		// severed connection, not a clean EOF.
+		err = fmt.Errorf("chaos %s: %w", d.site, io.ErrUnexpectedEOF)
+	}
+	return n, err
+}
+
+func (d *droppingBody) Close() error { return d.rc.Close() }

@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// transportClient returns a client whose round trips pass through a
+// chaos.Transport on the given site.
+func transportClient(site string) *http.Client {
+	return &http.Client{Transport: &Transport{Site: site}}
+}
+
+func TestTransportPassthroughWhenDisarmed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+
+	resp, err := transportClient("t.pass").Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok" {
+		t.Fatalf("body = %q, want ok", body)
+	}
+}
+
+func TestTransportRefuse(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	defer Activate(NewPlan().Set("t.refuse", Fault{HTTP: HTTPRefuse}))()
+
+	_, err := transportClient("t.refuse").Get(ts.URL)
+	if err == nil || !strings.Contains(err.Error(), "connection refused") {
+		t.Fatalf("err = %v, want connection refused", err)
+	}
+}
+
+func TestTransportBlackholeHonorsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	defer Activate(NewPlan().Set("t.hole", Fault{HTTP: HTTPBlackhole}))()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	start := time.Now()
+	_, err := transportClient("t.hole").Do(req)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("black hole outlived the request context")
+	}
+}
+
+func TestTransportSlowDelaysThenSucceeds(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "late")
+	}))
+	defer ts.Close()
+	defer Activate(NewPlan().Set("t.slow", Fault{HTTP: HTTPSlow, Sleep: 50 * time.Millisecond}))()
+
+	start := time.Now()
+	resp, err := transportClient("t.slow").Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "late" || time.Since(start) < 50*time.Millisecond {
+		t.Fatalf("body %q after %v; want late after >= 50ms", body, time.Since(start))
+	}
+}
+
+func TestTransportSlowCutByDeadline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer ts.Close()
+	defer Activate(NewPlan().Set("t.slowcut", Fault{HTTP: HTTPSlow, Sleep: 10 * time.Second}))()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL, nil)
+	_, err := transportClient("t.slowcut").Do(req)
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded (hedging deadline cuts a slow link)", err)
+	}
+}
+
+func TestTransportDropBodyMidRead(t *testing.T) {
+	payload := strings.Repeat("x", 4096)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, payload)
+	}))
+	defer ts.Close()
+	defer Activate(NewPlan().Set("t.drop", Fault{HTTP: HTTPDropBody, DropAfter: 100}))()
+
+	resp, err := transportClient("t.drop").Get(ts.URL)
+	if err != nil {
+		t.Fatalf("headers must arrive intact: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want unexpected EOF", err)
+	}
+	if len(body) > 100 {
+		t.Fatalf("read %d bytes past the drop point (max 100)", len(body))
+	}
+}
+
+// TestTransportTriggerWindow pins that After/Count windows apply to
+// transport faults exactly as they do to Inject sites.
+func TestTransportTriggerWindow(t *testing.T) {
+	var served int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served++
+		io.WriteString(w, "ok")
+	}))
+	defer ts.Close()
+	plan := NewPlan().Set("t.window", Fault{HTTP: HTTPRefuse, After: 1, Count: 1})
+	defer Activate(plan)()
+
+	c := transportClient("t.window")
+	for i, wantErr := range []bool{false, true, false} {
+		resp, err := c.Get(ts.URL)
+		if gotErr := err != nil; gotErr != wantErr {
+			t.Fatalf("pass %d: err = %v, want error %v", i, err, wantErr)
+		}
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	if plan.Fired("t.window") != 1 || served != 2 {
+		t.Fatalf("fired %d served %d, want 1 fired / 2 served", plan.Fired("t.window"), served)
+	}
+}

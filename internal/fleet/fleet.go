@@ -1,0 +1,469 @@
+// Package fleet turns N hbmvoltd nodes into one logical sweep cache
+// with provable graceful degradation.
+//
+// Every sweep/campaign request already condenses to a deterministic,
+// normalized cache key (internal/service), and every payload is a pure
+// function of that key — so ownership can be pure routing: rendezvous
+// hashing assigns each key exactly one owner node, forwards go to the
+// owner, and the fleet deduplicates compute without any coordination
+// state, rebalancing only 1/N of the keyspace when a node joins or
+// leaves.
+//
+// Robustness is the point. A per-peer circuit breaker — fed by an
+// active health prober (periodic /healthz probes) and passively by
+// forward failures — decides whether an owner is worth trying at all;
+// every HTTP call in the forward path runs under a hedging deadline;
+// and any failure to get the owner's bytes (open circuit, connection
+// refused, black-holed link, slow past the deadline, payload severed
+// mid-body) degrades to computing the cell locally. Because payloads
+// are deterministic, the degraded response is byte-identical to the
+// owner's — availability degrades, correctness never does, and the
+// partition tests pin that equality byte for byte. Every fallback is
+// observable: X-Hbmvolt-Served-By / X-Hbmvolt-Degraded response
+// headers, per-job served_by/degraded status fields, and per-peer
+// circuit state plus degraded-serve counters in /healthz.
+package fleet
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbmvolt/internal/service"
+)
+
+// Options parameterizes a Forwarder.
+type Options struct {
+	// Self is this node's advertised base URL, e.g.
+	// "http://10.0.0.1:8023". It must be the name peers know this node
+	// by: every node must route a key to the same owner, so the node
+	// set — and each node's spelling of it — must agree fleet-wide.
+	Self string
+	// Peers are the other nodes' base URLs. Self is tolerated in the
+	// list (and ignored), so every node can ship the same -peers value.
+	Peers []string
+	// ForwardTimeout is the hedging deadline on each HTTP call of the
+	// forward path — submit, status poll, result fetch. A call slower
+	// than this counts as a peer failure and the serve degrades to
+	// local compute (default 2s).
+	ForwardTimeout time.Duration
+	// PollInterval paces remote job status polling (default 100ms).
+	PollInterval time.Duration
+	// ProbeInterval is the active health checker's period: every tick,
+	// each peer's /healthz is probed and the result feeds its circuit
+	// breaker — including the probe success that closes an open circuit
+	// once the peer recovers. 0 disables active probing (the breaker
+	// then runs on passive forward failures and cooldown alone).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default ForwardTimeout).
+	ProbeTimeout time.Duration
+	// FailureThreshold is the consecutive-failure count that opens a
+	// peer's circuit (default 3).
+	FailureThreshold int
+	// Cooldown is how long an open circuit blocks forwards before one
+	// trial request may probe the peer again (default 5s).
+	Cooldown time.Duration
+	// HTTPClient performs all fleet HTTP (nil → a plain http.Client).
+	// Tests wrap a chaos.Transport here to inject partitions.
+	HTTPClient *http.Client
+	// Logf receives fallback and circuit-transition events (nil =
+	// silent).
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.ForwardTimeout <= 0 {
+		o.ForwardTimeout = 2 * time.Second
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 100 * time.Millisecond
+	}
+	if o.ProbeTimeout <= 0 {
+		o.ProbeTimeout = o.ForwardTimeout
+	}
+	if o.FailureThreshold <= 0 {
+		o.FailureThreshold = 3
+	}
+	if o.Cooldown <= 0 {
+		o.Cooldown = 5 * time.Second
+	}
+}
+
+// normalizeNode canonicalizes a node URL so equal nodes spell equally
+// fleet-wide (scheme+host, no trailing slash).
+func normalizeNode(raw string) (string, error) {
+	raw = strings.TrimRight(strings.TrimSpace(raw), "/")
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("fleet: node URL %q: %w", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("fleet: node URL %q: want http(s)://host[:port]", raw)
+	}
+	if u.Path != "" || u.RawQuery != "" || u.Fragment != "" {
+		return "", fmt.Errorf("fleet: node URL %q: must be a bare base URL", raw)
+	}
+	return u.Scheme + "://" + u.Host, nil
+}
+
+// peer is one remote node: its typed client and its health state.
+type peer struct {
+	name    string
+	client  *service.Client
+	breaker *breaker
+
+	probes, probeFailures     atomic.Uint64
+	forwards, forwardFailures atomic.Uint64
+}
+
+// Forwarder is the peer-routing fabric: it implements
+// service.Forwarder over rendezvous hashing, per-peer circuit
+// breakers, and local-compute degradation. Construct with New, stop
+// the prober with Close.
+type Forwarder struct {
+	self  string
+	nodes []string // all node names (self + peers), sorted
+	peers map[string]*peer
+	opts  Options
+
+	localOwned atomic.Uint64 // keys this node owns, computed locally
+	forwarded  atomic.Uint64 // keys served by their remote owner
+	degraded   atomic.Uint64 // remote-owned keys served by local fallback
+
+	stopc    chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds a forwarder and starts its health prober (when
+// Options.ProbeInterval is set). Self must be present; Peers may
+// repeat or include Self (deduplicated). A fleet of one — no peers —
+// is valid and serves everything locally.
+func New(opts Options) (*Forwarder, error) {
+	opts.fill()
+	self, err := normalizeNode(opts.Self)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: -self: %w", err)
+	}
+	f := &Forwarder{
+		self:  self,
+		peers: make(map[string]*peer),
+		opts:  opts,
+		stopc: make(chan struct{}),
+	}
+	f.nodes = []string{self}
+	httpc := opts.HTTPClient
+	if httpc == nil {
+		// Deliberately not http.DefaultClient: fleet traffic must never
+		// inherit global transport tweaks, and streaming is unused here so
+		// per-call contexts are the only timeout source.
+		httpc = &http.Client{}
+	}
+	for _, raw := range opts.Peers {
+		name, err := normalizeNode(raw)
+		if err != nil {
+			return nil, err
+		}
+		if name == self {
+			continue
+		}
+		if _, dup := f.peers[name]; dup {
+			continue
+		}
+		c := service.NewClient(name)
+		c.HTTPClient = httpc
+		// The forwarder's degradation policy *is* the retry policy: one
+		// attempt per call, fail fast, fall back to local compute. The
+		// forwarded-once marker keeps a misconfigured ring from looping.
+		c.Retries = -1
+		c.PollInterval = opts.PollInterval
+		c.Header = http.Header{
+			service.HeaderNoForward: []string{"1"},
+			"X-Client-ID":           []string{"fleet:" + self},
+		}
+		f.peers[name] = &peer{
+			name:    name,
+			client:  c,
+			breaker: newBreaker(opts.FailureThreshold, opts.Cooldown),
+		}
+		f.nodes = append(f.nodes, name)
+	}
+	sort.Strings(f.nodes)
+	if opts.ProbeInterval > 0 && len(f.peers) > 0 {
+		f.wg.Add(1)
+		go f.probeLoop()
+	}
+	return f, nil
+}
+
+// Close stops the health prober. In-flight forwards finish on their
+// own deadlines.
+func (f *Forwarder) Close() {
+	f.stopOnce.Do(func() { close(f.stopc) })
+	f.wg.Wait()
+}
+
+// Self returns this node's canonical name.
+func (f *Forwarder) Self() string { return f.self }
+
+// Nodes returns every node name (self included), sorted.
+func (f *Forwarder) Nodes() []string { return append([]string(nil), f.nodes...) }
+
+// Owner maps a cache key to its owning node by rendezvous (highest
+// random weight) hashing: every node scores the (node, key) pair and
+// the highest score owns the key. All nodes configured with the same
+// node set agree on every owner with no coordination, and removing a
+// node reassigns only that node's keys.
+func (f *Forwarder) Owner(key uint64) string {
+	var keyb [8]byte
+	binary.LittleEndian.PutUint64(keyb[:], key)
+	owner, best := "", uint64(0)
+	for _, n := range f.nodes {
+		h := fnv.New64a()
+		h.Write([]byte(n))
+		h.Write(keyb[:])
+		if s := h.Sum64(); owner == "" || s > best || (s == best && n < owner) {
+			owner, best = n, s
+		}
+	}
+	return owner
+}
+
+// logf logs through Options.Logf when set.
+func (f *Forwarder) logf(format string, args ...any) {
+	if f.opts.Logf != nil {
+		f.opts.Logf(format, args...)
+	}
+}
+
+// ExecuteSweep implements service.Forwarder: serve the key from its
+// owner, or degrade — byte-identically — to local compute when the
+// owner is this node, unreachable, open-circuit, or slow. A context
+// already cancelled by the caller is never blamed on the peer.
+func (f *Forwarder) ExecuteSweep(ctx context.Context, key uint64, req service.SweepRequest, local func(context.Context) ([]byte, error)) ([]byte, service.ServeInfo, error) {
+	owner := f.Owner(key)
+	if owner == f.self {
+		f.localOwned.Add(1)
+		payload, err := local(ctx)
+		return payload, service.ServeInfo{ServedBy: f.self}, err
+	}
+	p := f.peers[owner]
+	if !p.breaker.Allow() {
+		f.degraded.Add(1)
+		f.logf("fleet: owner %s of key %016x is open-circuit; serving degraded from local compute", owner, key)
+		payload, err := local(ctx)
+		return payload, service.ServeInfo{ServedBy: f.self, Degraded: true}, err
+	}
+	payload, err := f.fetch(ctx, p, req)
+	if err == nil {
+		p.breaker.Success()
+		f.forwarded.Add(1)
+		return payload, service.ServeInfo{ServedBy: owner}, nil
+	}
+	if ctx.Err() != nil {
+		// The job was cancelled (or the manager is shutting down): not a
+		// peer fault, and nothing left to serve.
+		return nil, service.ServeInfo{}, ctx.Err()
+	}
+	p.forwardFailures.Add(1)
+	p.breaker.Failure()
+	f.degraded.Add(1)
+	f.logf("fleet: forwarding key %016x to owner %s failed (%v); serving degraded from local compute", key, owner, err)
+	payload, lerr := local(ctx)
+	return payload, service.ServeInfo{ServedBy: f.self, Degraded: true}, lerr
+}
+
+// fetch drives one remote execution: submit, poll to terminal, fetch
+// the verified payload. Every call runs under the hedging deadline; a
+// single failed call fails the fetch — retrying is the degradation
+// path's job, not this one's.
+func (f *Forwarder) fetch(ctx context.Context, p *peer, req service.SweepRequest) ([]byte, error) {
+	p.forwards.Add(1)
+	// The owner picks its own fleet size; the submitter's parallelism
+	// hint is meaningless on another node's hardware.
+	req.Workers = 0
+
+	var sub service.SubmitResponse
+	err := f.call(ctx, func(cctx context.Context) error {
+		var serr error
+		sub, serr = p.client.Submit(cctx, req)
+		return serr
+	})
+	if err != nil {
+		return nil, fmt.Errorf("submit to %s: %w", p.name, err)
+	}
+
+	// Poll rather than stream: every round trip gets its own deadline,
+	// so a peer that accepts the job and then black-holes is detected
+	// within one poll instead of holding a stream open forever.
+	for {
+		var st service.JobStatus
+		err := f.call(ctx, func(cctx context.Context) error {
+			var serr error
+			st, serr = p.client.Status(cctx, sub.ID)
+			return serr
+		})
+		if err != nil {
+			return nil, fmt.Errorf("status of %s on %s: %w", sub.ID, p.name, err)
+		}
+		switch st.State {
+		case service.StateDone:
+			var payload []byte
+			err := f.call(ctx, func(cctx context.Context) error {
+				var rerr error
+				payload, rerr = p.client.Result(cctx, sub.ID)
+				return rerr
+			})
+			if err != nil {
+				return nil, fmt.Errorf("result of %s from %s: %w", sub.ID, p.name, err)
+			}
+			return payload, nil
+		case service.StateFailed:
+			return nil, fmt.Errorf("%s on %s failed remotely: %s", sub.ID, p.name, st.Error)
+		case service.StateCancelled:
+			return nil, fmt.Errorf("%s on %s was cancelled remotely", sub.ID, p.name)
+		}
+		select {
+		case <-time.After(f.opts.PollInterval):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// call runs one HTTP round trip under the hedging deadline.
+func (f *Forwarder) call(ctx context.Context, fn func(context.Context) error) error {
+	cctx, cancel := context.WithTimeout(ctx, f.opts.ForwardTimeout)
+	defer cancel()
+	return fn(cctx)
+}
+
+// probeLoop is the active health checker: every ProbeInterval each
+// peer's /healthz is probed concurrently (one black-holed peer must
+// not delay the others' probes) and the outcome feeds its breaker.
+func (f *Forwarder) probeLoop() {
+	defer f.wg.Done()
+	ticker := time.NewTicker(f.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-f.stopc:
+			return
+		case <-ticker.C:
+		}
+		var wg sync.WaitGroup
+		for _, p := range f.peers {
+			wg.Add(1)
+			go func(p *peer) {
+				defer wg.Done()
+				f.probe(p)
+			}(p)
+		}
+		wg.Wait()
+	}
+}
+
+// probe checks one peer's liveness. A success closes the peer's
+// circuit (recovery); a failure counts toward opening it.
+func (f *Forwarder) probe(p *peer) {
+	p.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), f.opts.ProbeTimeout)
+	defer cancel()
+	if _, err := p.client.Health(ctx); err != nil {
+		p.probeFailures.Add(1)
+		if p.breaker.Failure() {
+			f.logf("fleet: peer %s unhealthy (%v); circuit open", p.name, err)
+		}
+		return
+	}
+	if p.breaker.Success() {
+		f.logf("fleet: peer %s recovered; circuit closed", p.name)
+	}
+}
+
+// ErrNotPeer is returned by PeerState for unknown node names.
+var ErrNotPeer = errors.New("fleet: no such peer")
+
+// PeerState reports a peer's current circuit state (tests, debugging).
+func (f *Forwarder) PeerState(name string) (string, error) {
+	p, ok := f.peers[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNotPeer, name)
+	}
+	return p.breaker.State(), nil
+}
+
+// PeerHealth is one peer's entry in the /healthz fleet block.
+type PeerHealth struct {
+	Peer string `json:"peer"`
+	// Circuit is "closed" (healthy), "open" (failing; forwards skip
+	// straight to local compute until the cooldown) or "half-open"
+	// (cooldown elapsed; one trial in flight).
+	Circuit string `json:"circuit"`
+	// ConsecutiveFailures is the current failure streak feeding the
+	// breaker (reset by any success).
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Probes/ProbeFailures count the active health checker's /healthz
+	// probes of this peer.
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	// Forwards/ForwardFailures count forward attempts to this peer
+	// (failures degrade to local compute).
+	Forwards        uint64 `json:"forwards"`
+	ForwardFailures uint64 `json:"forward_failures"`
+}
+
+// Health is the /healthz fleet block.
+type Health struct {
+	// Self is this node's canonical name; Nodes the fleet size
+	// (peers + self).
+	Self  string `json:"self"`
+	Nodes int    `json:"nodes"`
+	// LocalOwned counts executions this node owned and computed;
+	// Forwarded, executions served by their remote owner; and
+	// DegradedServes, remote-owned executions served from local compute
+	// because the owner was unreachable — each byte-identical to what
+	// the owner would have returned.
+	LocalOwned     uint64 `json:"local_owned"`
+	Forwarded      uint64 `json:"forwarded"`
+	DegradedServes uint64 `json:"degraded_serves"`
+	// Peers reports each peer's circuit and counters, sorted by name.
+	Peers []PeerHealth `json:"peers"`
+}
+
+// Health implements service.Forwarder's /healthz hook.
+func (f *Forwarder) Health() any {
+	h := Health{
+		Self:           f.self,
+		Nodes:          len(f.nodes),
+		LocalOwned:     f.localOwned.Load(),
+		Forwarded:      f.forwarded.Load(),
+		DegradedServes: f.degraded.Load(),
+	}
+	for _, n := range f.nodes {
+		p, ok := f.peers[n]
+		if !ok {
+			continue // self
+		}
+		state, consecutive := p.breaker.Snapshot()
+		h.Peers = append(h.Peers, PeerHealth{
+			Peer:                p.name,
+			Circuit:             state,
+			ConsecutiveFailures: consecutive,
+			Probes:              p.probes.Load(),
+			ProbeFailures:       p.probeFailures.Load(),
+			Forwards:            p.forwards.Load(),
+			ForwardFailures:     p.forwardFailures.Load(),
+		})
+	}
+	return h
+}

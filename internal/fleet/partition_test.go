@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"hbmvolt/internal/campaign"
+	"hbmvolt/internal/chaos"
+)
+
+// The partition suite pins the fleet's headline guarantee: a campaign
+// run against a 3-node fleet produces a manifest byte-identical to a
+// single-node run, no matter which node dies, stalls, or severs its
+// transfers mid-campaign. The chaos transport injects the partitions;
+// the forwarder's degradation path absorbs them; the manifest bytes
+// prove correctness never followed availability down.
+
+// forwardSite is the chaos injection site wrapping node 0's fleet
+// transport in these tests.
+const forwardSite = "fleet.partition.forward"
+
+// partitionSpec is the suite's workload: six distinct cheap
+// reliability cells (3 seeds × 2 pattern sets), the same shape the
+// crash-recovery suite pins.
+func partitionSpec() campaign.Spec {
+	return campaign.Spec{
+		Name: "partition",
+		Scenarios: []campaign.Scenario{{
+			Name:        "rel",
+			Kind:        "reliability",
+			Seeds:       []uint64{0, 1, 2},
+			PatternSets: [][]string{{"all1"}, {"all0"}},
+			Scales:      []uint64{1024},
+			Grid:        []float64{0.90, 0.89},
+			Ports:       []int{0},
+			Batch:       1,
+		}},
+	}
+}
+
+// goldenManifest runs the spec on a standalone single-node manager —
+// no fleet anywhere — and returns its manifest bytes, the reference
+// every partitioned fleet run must reproduce exactly.
+func goldenManifest(t *testing.T) []byte {
+	t.Helper()
+	res, err := campaign.Run(t.Context(), partitionSpec(), campaign.Options{Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := res.ManifestJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// startPartitionFleet brings up a 3-node fleet whose (random) port
+// draw gives every node ownership of at least one campaign cell, so
+// partition scenarios always have remote-owned work to degrade.
+// Rendezvous hashing keys on node URLs, so a lopsided draw is re-drawn
+// with fresh ports. It returns the nodes plus each node's owned-cell
+// count, keyed by URL.
+func startPartitionFleet(t *testing.T, tune func(i int, o *Options)) ([]*testNode, map[string]int) {
+	t.Helper()
+	spec := partitionSpec()
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 64; attempt++ {
+		lns, urls := listenN(t, 3)
+		router, err := New(Options{Self: urls[0], Peers: urls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned := make(map[string]int)
+		for _, c := range cells {
+			owned[router.Owner(c.Key)]++
+		}
+		router.Close()
+		if owned[urls[0]] > 0 && owned[urls[1]] > 0 && owned[urls[2]] > 0 {
+			return startNodesOn(t, lns, urls, tune), owned
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	t.Fatal("no port draw spread cell ownership over all 3 nodes in 64 attempts")
+	return nil, nil
+}
+
+// runCampaign executes the suite's spec against node's manager and
+// returns the manifest bytes.
+func runCampaign(t *testing.T, node *testNode, opts campaign.Options) []byte {
+	t.Helper()
+	spec := partitionSpec()
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := campaign.Execute(t.Context(), node.srv.Manager(), spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := res.ManifestJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestPartitionedOwnerManifestByteIdentical cuts node 0 off from both
+// peers — four different ways — for an entire campaign: every
+// remote-owned cell must be served degraded from local compute, the
+// manifest must match the single-node golden byte for byte, and the
+// degradation must be visible in /healthz.
+func TestPartitionedOwnerManifestByteIdentical(t *testing.T) {
+	golden := goldenManifest(t)
+	scenarios := []struct {
+		name  string
+		fault chaos.Fault
+	}{
+		// The owner's process is gone: connections refuse immediately.
+		{"owner-down", chaos.Fault{HTTP: chaos.HTTPRefuse}},
+		// The owner is alive but slower than the hedging deadline.
+		{"owner-slow", chaos.Fault{HTTP: chaos.HTTPSlow, Sleep: 500 * time.Millisecond}},
+		// The link black-holes: packets vanish, nothing answers.
+		{"owner-blackhole", chaos.Fault{HTTP: chaos.HTTPBlackhole}},
+		// Transfers sever mid-body: bytes flow, then the connection dies.
+		{"owner-drop-mid-body", chaos.Fault{HTTP: chaos.HTTPDropBody, DropAfter: 64}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			defer chaos.Activate(chaos.NewPlan().Set(forwardSite, sc.fault))()
+			nodes, owned := startPartitionFleet(t, func(i int, o *Options) {
+				o.ForwardTimeout = 200 * time.Millisecond
+				if i == 0 {
+					o.HTTPClient = &http.Client{Transport: &chaos.Transport{Site: forwardSite}}
+				}
+			})
+			manifest := runCampaign(t, nodes[0], campaign.Options{})
+			if !bytes.Equal(manifest, golden) {
+				t.Fatalf("partitioned fleet manifest differs from single-node golden:\n fleet: %s\ngolden: %s", manifest, golden)
+			}
+
+			remote := owned[nodes[1].url] + owned[nodes[2].url]
+			h := nodes[0].fwd.Health().(Health)
+			if h.LocalOwned != uint64(owned[nodes[0].url]) || h.Forwarded != 0 || h.DegradedServes != uint64(remote) {
+				t.Fatalf("health = %+v, want %d local, 0 forwarded, %d degraded", h, owned[nodes[0].url], remote)
+			}
+
+			// The same counters must be visible over the wire.
+			resp, err := http.Get(nodes[0].url + "/healthz")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var hb struct {
+				Fleet Health `json:"fleet"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&hb); err != nil {
+				t.Fatal(err)
+			}
+			if hb.Fleet.DegradedServes != uint64(remote) || len(hb.Fleet.Peers) != 2 {
+				t.Fatalf("/healthz fleet block = %+v, want %d degraded serves and 2 peers", hb.Fleet, remote)
+			}
+		})
+	}
+}
+
+// TestKillEachPeerMidCampaign kills one real node — listener and all —
+// after the campaign's first cell completes, for each peer in turn.
+// (Node 0 itself being cut off from everyone is the scenario above.)
+// Cells the victim served before dying were forwarded; cells after
+// degrade to local compute; the manifest must not be able to tell.
+func TestKillEachPeerMidCampaign(t *testing.T) {
+	golden := goldenManifest(t)
+	for _, victim := range []int{1, 2} {
+		t.Run(fmt.Sprintf("kill-node%d", victim), func(t *testing.T) {
+			nodes, _ := startPartitionFleet(t, func(i int, o *Options) {
+				o.ForwardTimeout = 300 * time.Millisecond
+			})
+			var once sync.Once
+			manifest := runCampaign(t, nodes[0], campaign.Options{
+				OnCell: func(done, total int) {
+					once.Do(nodes[victim].kill)
+				},
+			})
+			if !bytes.Equal(manifest, golden) {
+				t.Fatalf("manifest with node %d killed mid-campaign differs from single-node golden", victim)
+			}
+			h := nodes[0].fwd.Health().(Health)
+			if h.LocalOwned+h.Forwarded+h.DegradedServes != 6 {
+				t.Fatalf("health = %+v, want counters summing to the campaign's 6 cells", h)
+			}
+		})
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -40,6 +43,16 @@ type Client struct {
 	// PollInterval paces Wait's status-polling fallback after a dropped
 	// event stream (0 → 250ms).
 	PollInterval time.Duration
+	// Jitter draws the random extra backoff added to each retry step,
+	// returning a duration in [0, max). Nil uses math/rand/v2 — the
+	// production default that desynchronizes a fan-out of clients
+	// hitting one 503. Tests (and chaos plans asserting exact retry
+	// timing) inject a deterministic source instead.
+	Jitter func(max time.Duration) time.Duration
+	// Header is added to every request this client sends — e.g. a
+	// stable X-Client-ID so admission buckets follow the client across
+	// addresses, or the fleet's forwarded-once marker.
+	Header http.Header
 }
 
 // NewClient builds a client for a server root URL.
@@ -83,6 +96,13 @@ func (c *Client) retryBase() time.Duration {
 	return c.RetryBase
 }
 
+func (c *Client) jitter(max time.Duration) time.Duration {
+	if c.Jitter != nil {
+		return c.Jitter(max)
+	}
+	return time.Duration(rand.Int64N(int64(max)))
+}
+
 // doOnce performs a single request attempt. body may be nil.
 func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
 	var rd io.Reader
@@ -92,6 +112,11 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
 		return nil, err
+	}
+	for k, vs := range c.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -143,7 +168,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 		}
 		// Full jitter on one base step, so synchronized clients (a
 		// campaign fan-out hitting one 503) desynchronize.
-		wait += time.Duration(rand.Int64N(int64(base)))
+		wait += c.jitter(base)
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
@@ -183,14 +208,28 @@ func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
 
 // Result fetches a completed job's raw payload bytes — the byte-stable
 // body the cache contract promises. It fails with an *APIError (409)
-// while the job is not done.
+// while the job is not done. When the server sent its payload checksum
+// header the fetched bytes are verified against it, so a transfer
+// severed or corrupted mid-body surfaces as an error instead of wrong
+// bytes — the guarantee the fleet's peer-forwarding path relies on
+// before caching a remote payload.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	resp, err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id+"/result", nil)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	return io.ReadAll(resp.Body)
+	payload, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("service: reading result %s: %w", id, err)
+	}
+	if want := resp.Header.Get(HeaderPayloadSHA); want != "" {
+		sum := sha256.Sum256(payload)
+		if got := hex.EncodeToString(sum[:]); got != want {
+			return nil, fmt.Errorf("service: result %s payload checksum mismatch: got %s want %s (truncated or corrupted transfer)", id, got, want)
+		}
+	}
+	return payload, nil
 }
 
 // Stream follows a job's NDJSON event stream, invoking fn per event
@@ -222,12 +261,25 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) er
 	return sc.Err()
 }
 
+// ErrJobLost reports that the server no longer knows the job id — the
+// daemon restarted (its job table is in-memory) or evicted the record.
+// The sweep itself is not lost: by the determinism contract,
+// resubmitting the same request recovers the identical payload, served
+// from the durable cache tier when one is configured and recomputed
+// otherwise. Wait surfaces this typed error instead of a bare 404 so
+// callers can branch to resubmit-by-key recovery.
+var ErrJobLost = errors.New("service: job lost (server no longer knows the id)")
+
 // Wait blocks until the job reaches a terminal state and returns it.
 // It prefers the NDJSON event stream (cheap, push-based); if the stream
 // disconnects mid-job — server restart, dropped connection, proxy
 // timeout — it falls back to polling Status instead of surfacing the
 // scanner error, so callers see the job's real outcome whenever one
-// exists.
+// exists. If the poll answers 404 — the daemon restarted and the job id
+// vanished with its job table — Wait returns ErrJobLost immediately
+// rather than polling a dead id, and the caller recovers by
+// resubmitting the request (identical bytes, by the determinism
+// contract).
 func (c *Client) Wait(ctx context.Context, id string) (JobState, error) {
 	last := JobState("")
 	// The stream error is deliberately ignored: whether it died with a
@@ -252,6 +304,10 @@ func (c *Client) Wait(ctx context.Context, id string) (JobState, error) {
 	for {
 		st, err := c.Status(ctx, id)
 		if err != nil {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusNotFound {
+				return "", fmt.Errorf("waiting for %s: %w", id, ErrJobLost)
+			}
 			return "", fmt.Errorf("service: waiting for %s after stream loss: %w", id, err)
 		}
 		if st.State.terminal() {

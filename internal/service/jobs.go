@@ -59,11 +59,17 @@ type Job struct {
 	runCtx context.Context
 	cancel context.CancelFunc
 
+	// noForward pins execution to this node (see SubmitOptions).
+	noForward bool
+
 	mu      sync.Mutex
 	state   JobState
 	errMsg  string
 	payload []byte
 	events  []Event
+	// serve records which fleet node produced the payload (zero when no
+	// forwarder is configured).
+	serve ServeInfo
 	// changed is closed and replaced on every event append or state
 	// transition; streamers wait on the instance they snapshotted.
 	changed chan struct{}
@@ -134,11 +140,13 @@ func (j *Job) Snapshot() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	st := JobStatus{
-		ID:    j.ID,
-		Kind:  j.Req.Kind,
-		Key:   formatKey(j.Key),
-		State: j.state,
-		Error: j.errMsg,
+		ID:       j.ID,
+		Kind:     j.Req.Kind,
+		Key:      formatKey(j.Key),
+		State:    j.state,
+		Error:    j.errMsg,
+		ServedBy: j.serve.ServedBy,
+		Degraded: j.serve.Degraded,
 	}
 	for i := len(j.events) - 1; i >= 0; i-- {
 		if j.events[i].Type == "progress" {
@@ -154,6 +162,20 @@ func (j *Job) Payload() []byte {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.payload
+}
+
+// ServeInfo returns the job's fleet serving record (zero value when no
+// forwarder is configured).
+func (j *Job) ServeInfo() ServeInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.serve
+}
+
+func (j *Job) setServeInfo(info ServeInfo) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.serve = info
 }
 
 // State returns the current lifecycle state.
@@ -199,6 +221,12 @@ type JobStatus struct {
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
 	Error string `json:"error,omitempty"`
+	// ServedBy/Degraded mirror the job's fleet serving record: the node
+	// whose compute produced the payload, and whether the fleet fell
+	// back to local compute because the key's owner was unreachable.
+	// Empty/false outside fleet mode.
+	ServedBy string `json:"served_by,omitempty"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 // Config parameterizes a Manager (and its Server).
@@ -239,6 +267,18 @@ type Config struct {
 	// RateBurst is the per-client bucket size (default 8 when rate
 	// limiting is enabled).
 	RateBurst int
+	// TrustProxy honors the X-Forwarded-For header when attributing
+	// admission tokens: the leftmost (originating-client) address
+	// becomes the client key instead of the remote host. Off by
+	// default — a spoofable header must never split rate-limit buckets
+	// unless a trusted proxy is known to set it. X-Client-ID still wins
+	// when present.
+	TrustProxy bool
+	// Forwarder, when non-nil, routes executions across a fleet: each
+	// job's cache key is owned by one node, remote-owned jobs are
+	// fetched from their owner, and any failure to reach the owner
+	// degrades byte-identically to local compute (see internal/fleet).
+	Forwarder Forwarder
 }
 
 func (c *Config) fill() {
@@ -284,6 +324,9 @@ type Manager struct {
 	cache   *resultCache
 	latency *latencyTracker
 	limiter *rateLimiter
+	// forward, when non-nil, is the fleet routing hook consulted before
+	// computing a job locally (Config.Forwarder).
+	forward Forwarder
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -346,6 +389,7 @@ func OpenManager(cfg Config) (*Manager, error) {
 		cache:   newResultCache(tiers...),
 		latency: newLatencyTracker(),
 		limiter: newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
+		forward: cfg.Forwarder,
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
@@ -424,6 +468,12 @@ func (m *Manager) Draining() bool {
 // the request coalesced onto an existing job and whether it was
 // answered from the result cache without queueing any work.
 func (m *Manager) Submit(req SweepRequest) (job *Job, coalesced, cacheHit bool, err error) {
+	return m.SubmitOpts(req, SubmitOptions{})
+}
+
+// SubmitOpts is Submit with per-submission flags — currently only
+// NoForward, the fleet's already-forwarded-once marker.
+func (m *Manager) SubmitOpts(req SweepRequest, opts SubmitOptions) (job *Job, coalesced, cacheHit bool, err error) {
 	if err := req.Normalize(); err != nil {
 		return nil, false, false, err
 	}
@@ -465,6 +515,7 @@ func (m *Manager) Submit(req SweepRequest) (job *Job, coalesced, cacheHit bool, 
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := m.newJobLocked(key, req, cancel)
 	j.runCtx = ctx
+	j.noForward = opts.NoForward
 	select {
 	case m.queue <- j:
 	default:
@@ -618,6 +669,10 @@ type Stats struct {
 	// SharedEnums reports the process-wide shared-enumeration memo store
 	// (the sweep planner's physics cache).
 	SharedEnums faults.EnumStats `json:"shared_enums"`
+	// Fleet is the peer-mode block, present only when a fleet forwarder
+	// is configured: this node's name, per-peer circuit/probe state, and
+	// the forwarded/degraded serve counters (see fleet.Health).
+	Fleet any `json:"fleet,omitempty"`
 }
 
 // Stats gathers current counters.
@@ -639,6 +694,9 @@ func (m *Manager) Stats() Stats {
 		RateLimited:       m.limiter.Denied(),
 		Draining:          m.Draining(),
 		SharedEnums:       faults.EnumStoreStats(),
+	}
+	if m.forward != nil {
+		st.Fleet = m.forward.Health()
 	}
 	st.CacheHits, st.CacheMisses = m.cache.Stats()
 	if disk, ok := m.cache.disk(); ok {
@@ -675,12 +733,31 @@ func (m *Manager) worker() {
 }
 
 // runJob executes one job under its submit-time context and records its
-// terminal state.
+// terminal state. With a fleet forwarder configured (and the job not
+// pinned local by a forwarded-once marker), execution routes through
+// the forwarder: the key's owner serves it remotely when healthy, local
+// compute otherwise — byte-identical either way. Only actual local
+// sweeps count toward Runs; a remote-served job costs this node no
+// compute.
 func (m *Manager) runJob(j *Job) {
 	defer j.cancel()
-	m.runs.Add(1)
 	start := time.Now()
-	payload, err := m.runSweep(j.runCtx, j)
+	local := func(ctx context.Context) ([]byte, error) {
+		m.runs.Add(1)
+		return m.runSweep(ctx, j)
+	}
+	var payload []byte
+	var err error
+	if m.forward != nil && !j.noForward {
+		var info ServeInfo
+		payload, info, err = m.forward.ExecuteSweep(j.runCtx, j.Key, j.Req, local)
+		j.setServeInfo(info)
+	} else {
+		payload, err = local(j.runCtx)
+		if m.forward != nil {
+			j.setServeInfo(ServeInfo{ServedBy: m.forward.Self()})
+		}
+	}
 	m.latency.Observe(time.Since(start))
 	switch {
 	case err == nil:

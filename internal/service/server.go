@@ -1,12 +1,15 @@
 package service
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"hbmvolt/internal/chaos"
 	"hbmvolt/internal/report"
@@ -86,6 +89,38 @@ func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
 // grid points, every port listed) is a few KB.
 const maxRequestBody = 1 << 20
 
+// Fleet-mode HTTP headers. Markers ride in headers, never in payloads:
+// response bodies stay byte-identical whether a job was served by its
+// owner, degraded to local compute, or never touched a fleet at all.
+const (
+	// HeaderServedBy names the node whose compute produced a job's
+	// payload (submit/status/result responses in fleet mode).
+	HeaderServedBy = "X-Hbmvolt-Served-By"
+	// HeaderDegraded is "true" when the job's owner was a remote peer
+	// the fleet could not reach and the payload was computed locally.
+	HeaderDegraded = "X-Hbmvolt-Degraded"
+	// HeaderNoForward marks a submission that already crossed the fleet
+	// once; the receiving node executes it locally, never re-forwards.
+	HeaderNoForward = "X-Hbmvolt-No-Forward"
+	// HeaderPayloadSHA carries the hex SHA-256 of a /result body, so
+	// fetchers detect truncated or corrupted transfers instead of
+	// caching wrong bytes.
+	HeaderPayloadSHA = "X-Hbmvolt-Payload-Sha256"
+)
+
+// serveHeaders stamps the fleet serving record onto a job-scoped
+// response (no-ops outside fleet mode).
+func serveHeaders(w http.ResponseWriter, j *Job) {
+	info := j.ServeInfo()
+	if info.ServedBy == "" {
+		return
+	}
+	w.Header().Set(HeaderServedBy, info.ServedBy)
+	if info.Degraded {
+		w.Header().Set(HeaderDegraded, "true")
+	}
+}
+
 // SubmitResponse is the POST /v1/sweeps body.
 type SubmitResponse struct {
 	ID    string   `json:"id"`
@@ -100,10 +135,38 @@ type SubmitResponse struct {
 
 // ClientKey identifies the client a request's admission tokens are
 // charged to: the X-Client-ID header when present (trusted deployments
-// behind a proxy), otherwise the remote host.
+// behind a proxy), otherwise the remote host. This is the
+// proxy-agnostic form; Manager.ClientKey adds the opt-in
+// X-Forwarded-For handling.
 func ClientKey(r *http.Request) string {
 	if id := r.Header.Get("X-Client-ID"); id != "" {
 		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// ClientKey identifies the client a request's admission tokens are
+// charged to, honoring Config.TrustProxy: X-Client-ID wins when
+// present; with TrustProxy set, the leftmost X-Forwarded-For entry —
+// the originating client as recorded by the proxy — comes next, so
+// distinct clients behind one proxy stop sharing a single bucket; the
+// remote host is the fallback. Without TrustProxy the (spoofable)
+// X-Forwarded-For header is ignored entirely.
+func (m *Manager) ClientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if m.cfg.TrustProxy {
+		if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+			first, _, _ := strings.Cut(xff, ",")
+			if host := strings.TrimSpace(first); host != "" {
+				return host
+			}
+		}
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
@@ -118,10 +181,11 @@ func ClientKey(r *http.Request) string {
 // API, so sweep and campaign submissions draw from one bucket per
 // client.
 func (s *Server) Admit(w http.ResponseWriter, r *http.Request) bool {
-	ok, retryAfter := s.mgr.AllowClient(ClientKey(r))
+	client := s.mgr.ClientKey(r)
+	ok, retryAfter := s.mgr.AllowClient(client)
 	if !ok {
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
-		WriteError(w, http.StatusTooManyRequests, "client %s over submission rate", ClientKey(r))
+		WriteError(w, http.StatusTooManyRequests, "client %s over submission rate", client)
 	}
 	return ok
 }
@@ -137,7 +201,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		WriteError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
-	j, coalesced, cacheHit, err := s.mgr.Submit(req)
+	// A request that already crossed the fleet once executes here, no
+	// matter who the local router believes owns it: two nodes with
+	// disagreeing peer lists must degrade to an extra local compute,
+	// never bounce a request between each other.
+	opts := SubmitOptions{NoForward: r.Header.Get(HeaderNoForward) != ""}
+	j, coalesced, cacheHit, err := s.mgr.SubmitOpts(req, opts)
 	if err != nil {
 		var reqErr *RequestError
 		switch {
@@ -157,6 +226,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if coalesced || cacheHit {
 		status = http.StatusOK
 	}
+	serveHeaders(w, j)
 	WriteJSON(w, status, SubmitResponse{
 		ID:        j.ID,
 		Key:       formatKey(j.Key),
@@ -188,6 +258,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	serveHeaders(w, j)
 	WriteJSON(w, http.StatusOK, statusBody{JobStatus: j.Snapshot(), Result: j.Payload()})
 }
 
@@ -202,9 +273,17 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The payload is served verbatim: identical requests get
-	// byte-identical bodies, first run or cache hit alike.
+	// byte-identical bodies, first run or cache hit alike. The explicit
+	// Content-Length and SHA-256 header let fetchers — the fleet's
+	// peer-forwarding client above all — distinguish a complete transfer
+	// from one severed mid-body, so truncated bytes are never cached.
+	payload := j.Payload()
+	sum := sha256.Sum256(payload)
 	w.Header().Set("Content-Type", "application/json")
-	w.Write(j.Payload())
+	w.Header().Set("Content-Length", strconv.Itoa(len(payload)))
+	w.Header().Set(HeaderPayloadSHA, hex.EncodeToString(sum[:]))
+	serveHeaders(w, j)
+	w.Write(payload)
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
