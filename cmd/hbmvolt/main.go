@@ -30,7 +30,8 @@
 //	            -checkpoint with -cache-dir makes the run crash-safe:
 //	            an interrupted campaign resumes from its journal and
 //	            durable cache, and the finished manifest is
-//	            byte-identical to an uninterrupted run's)
+//	            byte-identical to an uninterrupted run's; -metrics
+//	            dumps the run's telemetry registry as Prometheus text)
 package main
 
 import (
@@ -44,6 +45,7 @@ import (
 
 	"hbmvolt"
 	"hbmvolt/internal/report"
+	"hbmvolt/internal/telemetry"
 )
 
 var (
@@ -67,6 +69,7 @@ var (
 	flagShared     = flag.Bool("shared", false, "campaign: run through the sweep planner — reliability cells grouped by physics sub-key share one stuck-cell enumeration per (voltage, port, rep); a distinct, separately golden-pinned realization")
 	flagCheckpoint = flag.String("checkpoint", "", "campaign: checkpoint journal path; an interrupted campaign rerun with the same -checkpoint and -cache-dir resumes instead of recomputing")
 	flagCacheDir   = flag.String("cache-dir", "", "campaign: durable result-cache directory (computed cells survive crashes; pairs with -checkpoint)")
+	flagMetrics    = flag.String("metrics", "", "campaign: after the run, write the engine's telemetry registry to this file in Prometheus text exposition format (job, cache, enum-store, and campaign families)")
 )
 
 func main() {
@@ -215,12 +218,20 @@ func runCampaign() error {
 	if *flagCheckpoint != "" && *flagCacheDir == "" {
 		fmt.Fprintln(os.Stderr, "warning: -checkpoint without -cache-dir records progress but has no durable cache to resume payloads from; completed cells will be recomputed on resume")
 	}
+	// -metrics: hand the engine a registry to report into and dump it as
+	// Prometheus text after the run — the same families a daemon serves
+	// live on /metrics, captured for a one-shot CLI run.
+	var reg *telemetry.Registry
+	if *flagMetrics != "" {
+		reg = telemetry.NewRegistry()
+	}
 	res, err := hbmvolt.RunCampaign(context.Background(), spec, hbmvolt.CampaignOptions{
 		Jobs:              *flagJobs,
 		Fleet:             *flagJ,
 		SharedEnumeration: *flagShared,
 		Journal:           *flagCheckpoint,
 		CacheDir:          *flagCacheDir,
+		Metrics:           reg,
 		OnCell: func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rcampaign %s: %d/%d cells   ", spec.Name, done, total)
 			if done == total {
@@ -230,6 +241,14 @@ func runCampaign() error {
 	})
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		if err := maybeWrite(*flagMetrics, func(w io.Writer) error {
+			_, werr := reg.WriteTo(w)
+			return werr
+		}); err != nil {
+			return err
+		}
 	}
 	if *flagOut != "" {
 		if err := res.WriteArtifacts(*flagOut); err != nil {

@@ -46,10 +46,28 @@
 //     in-flight sweeps finish for up to -drain-timeout, flushes the
 //     disk tier, and exits.
 //
+// Observability (see README "Observability"):
+//
+//   - GET /metrics serves the telemetry registry in Prometheus text
+//     exposition format: job, cache-tier, enum-store, admission,
+//     campaign, and fleet families. /healthz statistics are views over
+//     the same registry, so the two surfaces cannot drift.
+//   - Every submission gets a trace ID — minted at this edge or adopted
+//     from an X-Hbmvolt-Trace-Id request header — that follows the job
+//     through coalescing, cache lookups, enum-store singleflight, and
+//     fleet forwards; GET /v1/traces/{id} returns the recorded spans.
+//   - Logs are structured JSON records (one per line, leveled via
+//     -log-level) carrying the trace ID wherever one is in scope.
+//
 // With -pprof, net/http/pprof is mounted under /debug/pprof/ so
 // campaign-scale CPU and heap profiles can be captured in place:
 //
 //	go tool pprof http://127.0.0.1:8023/debug/pprof/profile?seconds=30
+//
+// -pprof also arms mutex and block profiling (tunable via
+// -mutex-profile-fraction and -block-profile-rate) so contention on the
+// job queue and cache tiers is attributable; sweep execution paths are
+// labeled (hbmvolt_kind, hbmvolt_mode, ...) for profile filtering.
 //
 // Identical requests — concurrent or repeated, standalone or inside a
 // campaign — coalesce into a single computation and return
@@ -62,7 +80,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -76,6 +93,8 @@ import (
 	"hbmvolt/internal/campaign"
 	"hbmvolt/internal/fleet"
 	"hbmvolt/internal/service"
+	"hbmvolt/internal/telemetry"
+	tlog "hbmvolt/internal/telemetry/log"
 )
 
 var (
@@ -91,6 +110,10 @@ var (
 	flagBurst    = flag.Int("burst", 8, "per-client token-bucket burst (with -rate)")
 	flagDrain    = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget: in-flight sweeps get this long to finish before being cancelled")
 	flagPprof    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default; enables capturing CPU/heap profiles of campaign-scale runs in place)")
+	flagLogLevel = flag.String("log-level", "info", "structured log verbosity: debug, info, warn, or error")
+
+	flagMutexFrac = flag.Int("mutex-profile-fraction", 5, "with -pprof: sample 1/n of mutex contention events (0 = off)")
+	flagBlockRate = flag.Int("block-profile-rate", 10000, "with -pprof: sample blocking events lasting >= this many nanoseconds (0 = off)")
 
 	flagSelf       = flag.String("self", "", "fleet mode: this node's advertised base URL, e.g. http://10.0.0.1:8023 (requires -peers)")
 	flagPeers      = flag.String("peers", "", "fleet mode: comma-separated peer base URLs; every node should get the identical list (own URL included is fine)")
@@ -115,6 +138,13 @@ type options struct {
 	drainTimeout time.Duration
 	pprof        bool
 
+	// logLevel names the structured-log threshold ("" = info). The
+	// profiling rates are applied only when pprof is on — sampling has a
+	// (small) runtime cost, so it rides the same opt-in.
+	logLevel      string
+	mutexFraction int
+	blockRate     int
+
 	// Fleet mode: self is this node's advertised URL, peers the other
 	// nodes'; empty self means standalone.
 	self           string
@@ -123,7 +153,9 @@ type options struct {
 	probeInterval  time.Duration
 
 	trustProxy bool
-	logf       func(format string, args ...any)
+	// logger receives the daemon's structured JSON records; nil builds a
+	// stderr logger at logLevel in newDaemon (tests inject their own).
+	logger *tlog.Logger
 }
 
 func optionsFromFlags() options {
@@ -141,13 +173,16 @@ func optionsFromFlags() options {
 		drainTimeout: *flagDrain,
 		pprof:        *flagPprof,
 
+		logLevel:      *flagLogLevel,
+		mutexFraction: *flagMutexFrac,
+		blockRate:     *flagBlockRate,
+
 		self:           *flagSelf,
 		peers:          splitPeers(*flagPeers),
 		forwardTimeout: *flagFwdTimeout,
 		probeInterval:  *flagProbe,
 
 		trustProxy: *flagTrustProxy,
-		logf:       log.Printf,
 	}
 }
 
@@ -184,6 +219,17 @@ func (o options) validate() error {
 	if o.drainTimeout <= 0 {
 		return errors.New("-drain-timeout must be > 0")
 	}
+	if o.logLevel != "" {
+		if _, err := tlog.ParseLevel(o.logLevel); err != nil {
+			return fmt.Errorf("-log-level: %w", err)
+		}
+	}
+	if o.mutexFraction < 0 {
+		return errors.New("-mutex-profile-fraction must be >= 0")
+	}
+	if o.blockRate < 0 {
+		return errors.New("-block-profile-rate must be >= 0")
+	}
 	if len(o.peers) > 0 && o.self == "" {
 		return errors.New("-peers needs -self (peers must know this node by one agreed URL)")
 	}
@@ -204,6 +250,7 @@ func (o options) validate() error {
 // daemon is a constructed-but-not-yet-serving hbmvoltd instance.
 type daemon struct {
 	opts options
+	log  *tlog.Logger
 	srv  *service.Server
 	fwd  *fleet.Forwarder // nil when standalone
 	http *http.Server
@@ -211,11 +258,20 @@ type daemon struct {
 
 // newDaemon builds the service (opening the durable cache tier, which
 // runs its recovery scan here), the fleet forwarder when peer mode is
-// configured, and the HTTP stack.
+// configured, the shared telemetry registry every subsystem reports
+// into, and the HTTP stack.
 func newDaemon(o options) (*daemon, error) {
-	if o.logf == nil {
-		o.logf = log.Printf
+	if o.logger == nil {
+		level := tlog.LevelInfo
+		if o.logLevel != "" {
+			level, _ = tlog.ParseLevel(o.logLevel) // validate() already vetted it
+		}
+		o.logger = tlog.New(os.Stderr, level)
 	}
+	// One registry serves /metrics and backs /healthz: the manager, the
+	// campaign engine (via the manager), and the fleet forwarder all
+	// report into it, so the two surfaces cannot drift.
+	reg := telemetry.NewRegistry()
 	var fwd *fleet.Forwarder
 	if o.self != "" {
 		var err error
@@ -224,12 +280,13 @@ func newDaemon(o options) (*daemon, error) {
 			Peers:          o.peers,
 			ForwardTimeout: o.forwardTimeout,
 			ProbeInterval:  o.probeInterval,
-			Logf:           o.logf,
+			Logger:         o.logger,
 		})
 		if err != nil {
 			return nil, err
 		}
-		o.logf("hbmvoltd fleet mode: self %s, %d nodes", fwd.Self(), len(fwd.Nodes()))
+		fwd.RegisterMetrics(reg)
+		o.logger.Info("fleet mode", tlog.F("self", fwd.Self()), tlog.F("nodes", len(fwd.Nodes())))
 	}
 	srv, err := service.Open(service.Config{
 		Workers:        o.workers,
@@ -243,6 +300,8 @@ func newDaemon(o options) (*daemon, error) {
 		RateBurst:      o.burst,
 		TrustProxy:     o.trustProxy,
 		Forwarder:      forwarderOrNil(fwd),
+		Metrics:        reg,
+		Logger:         o.logger,
 	})
 	if err != nil {
 		if fwd != nil {
@@ -259,8 +318,12 @@ func newDaemon(o options) (*daemon, error) {
 
 	// Profiling routes are opt-in: the handlers are registered on this
 	// mux explicitly (never on http.DefaultServeMux), so without -pprof
-	// nothing introspectable is exposed.
+	// nothing introspectable is exposed. Mutex/block sampling rides the
+	// same opt-in: the profiles are only reachable through these routes,
+	// and sampling costs (a little) at runtime.
 	if o.pprof {
+		runtime.SetMutexProfileFraction(o.mutexFraction)
+		runtime.SetBlockProfileRate(o.blockRate)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -270,6 +333,7 @@ func newDaemon(o options) (*daemon, error) {
 
 	return &daemon{
 		opts: o,
+		log:  o.logger.With(tlog.F("subsys", "daemon")),
 		srv:  srv,
 		fwd:  fwd,
 		http: &http.Server{
@@ -305,8 +369,10 @@ func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
 	o := d.opts
 	errc := make(chan error, 1)
 	go func() {
-		o.logf("hbmvoltd listening on %s (%d workers, queue %d, cache %d, fleet %d, cache-dir %q)",
-			ln.Addr(), o.workers, o.queue, o.cache, o.fleet, o.cacheDir)
+		d.log.Info("listening",
+			tlog.F("addr", ln.Addr().String()), tlog.F("workers", o.workers),
+			tlog.F("queue", o.queue), tlog.F("cache", o.cache),
+			tlog.F("fleet", o.fleet), tlog.F("cache_dir", o.cacheDir))
 		errc <- d.http.Serve(ln)
 	}()
 
@@ -317,7 +383,8 @@ func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
 	case <-ctx.Done():
 	}
 
-	o.logf("hbmvoltd draining: refusing new work, waiting up to %v for in-flight sweeps", o.drainTimeout)
+	d.log.Info("draining: refusing new work, waiting for in-flight sweeps",
+		tlog.F("budget", o.drainTimeout.String()))
 	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
 	defer cancel()
 
@@ -341,7 +408,7 @@ func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
 	if shutdownErr != nil {
 		return shutdownErr
 	}
-	o.logf("hbmvoltd drained cleanly")
+	d.log.Info("drained cleanly")
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"net"
 	"os"
@@ -12,7 +13,20 @@ import (
 
 	"hbmvolt/internal/fleet"
 	"hbmvolt/internal/service"
+	tlog "hbmvolt/internal/telemetry/log"
 )
+
+// testLogWriter forwards the daemon's structured records to t.Logf.
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+func testLogger(t *testing.T) *tlog.Logger {
+	return tlog.New(testLogWriter{t}, tlog.LevelDebug)
+}
 
 func TestOptionsValidate(t *testing.T) {
 	base := options{
@@ -75,7 +89,7 @@ func TestOptionsValidate(t *testing.T) {
 // the returned cancel function is called; done receives serve's error.
 func startDaemon(t *testing.T, o options) (client *service.Client, cancel context.CancelFunc, done chan error) {
 	t.Helper()
-	o.logf = t.Logf
+	o.logger = testLogger(t)
 	if err := o.validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +217,7 @@ func TestDaemonFleetWiring(t *testing.T) {
 	clients := make([]*service.Client, 2)
 	for i := range lns {
 		o := testOptions()
-		o.logf = t.Logf
+		o.logger = testLogger(t)
 		o.self = urls[i]
 		o.peers = urls
 		o.forwardTimeout = 2 * time.Second
@@ -274,7 +288,7 @@ func TestDaemonFleetWiring(t *testing.T) {
 // still completes and is observable by its client.
 func TestDaemonSignalDrain(t *testing.T) {
 	o := testOptions()
-	o.logf = t.Logf
+	o.logger = testLogger(t)
 	d, err := newDaemon(o)
 	if err != nil {
 		t.Fatal(err)

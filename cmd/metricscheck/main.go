@@ -1,0 +1,183 @@
+// Command metricscheck validates Prometheus text exposition read from
+// stdin and checks that required metric families are present — the CI
+// gate that keeps /metrics parseable and complete as the daemon grows.
+//
+// Usage:
+//
+//	curl -sf http://127.0.0.1:8023/metrics | metricscheck family...
+//
+// It exits nonzero (with a diagnostic per problem) when:
+//
+//   - a line is neither a comment, a blank, nor a well-formed sample
+//     (name{labels} value, with balanced quotes and a parseable float);
+//   - a # TYPE names a type other than counter, gauge, or histogram;
+//   - a sample appears before its family's # TYPE line;
+//   - a histogram family lacks its _bucket/_sum/_count series or its
+//     +Inf bucket;
+//   - any family named on the command line has no samples.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	problems := check(os.Args[1:])
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "metricscheck:", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Println("metricscheck: ok")
+}
+
+// check scans stdin and returns every problem found (empty = valid).
+func check(required []string) []string {
+	var problems []string
+	// typed maps family name → declared type; sampled maps the base
+	// family name (histogram suffixes stripped) → sample count.
+	typed := make(map[string]string)
+	sampled := make(map[string]int)
+	// histSeries tracks which of _bucket/_sum/_count/+Inf each histogram
+	// family has shown.
+	histSeries := make(map[string]map[string]bool)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				typ := fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram":
+					typed[fields[2]] = typ
+				default:
+					problems = append(problems, fmt.Sprintf("line %d: unknown TYPE %q for %s", lineNo, typ, fields[2]))
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("line %d: %v (%q)", lineNo, err, line))
+			continue
+		}
+		base, series := baseName(name, typed)
+		if _, ok := typed[base]; !ok {
+			problems = append(problems, fmt.Sprintf("line %d: sample %s before its # TYPE line", lineNo, name))
+		}
+		sampled[base]++
+		if series != "" {
+			hs := histSeries[base]
+			if hs == nil {
+				hs = make(map[string]bool)
+				histSeries[base] = hs
+			}
+			hs[series] = true
+			if series == "_bucket" && strings.Contains(labels, `le="+Inf"`) {
+				hs["+Inf"] = true
+			}
+		}
+		_ = value
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("reading stdin: %v", err))
+	}
+
+	for fam, typ := range typed {
+		if typ != "histogram" {
+			continue
+		}
+		hs := histSeries[fam]
+		for _, want := range []string{"_bucket", "_sum", "_count", "+Inf"} {
+			if !hs[want] {
+				problems = append(problems, fmt.Sprintf("histogram %s: missing %s series", fam, want))
+			}
+		}
+	}
+	for _, fam := range required {
+		if sampled[fam] == 0 {
+			problems = append(problems, fmt.Sprintf("required family %s: no samples", fam))
+		}
+	}
+	return problems
+}
+
+// parseSample splits one exposition sample line into its metric name,
+// raw label block (without braces; empty when unlabeled), and value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if brace := strings.IndexByte(line, '{'); brace >= 0 {
+		name = line[:brace]
+		end := strings.LastIndexByte(line, '}')
+		if end < brace {
+			return "", "", 0, fmt.Errorf("unbalanced label braces")
+		}
+		labels = line[brace+1 : end]
+		if strings.Count(labels, `"`)%2 != 0 {
+			return "", "", 0, fmt.Errorf("unbalanced label quotes")
+		}
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("no value")
+		}
+		name = line[:sp]
+		rest = strings.TrimSpace(line[sp+1:])
+	}
+	if name == "" || !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	// A sample may carry an optional timestamp after the value.
+	valueField := strings.Fields(rest)
+	if len(valueField) == 0 {
+		return "", "", 0, fmt.Errorf("no value")
+	}
+	value, err = strconv.ParseFloat(valueField[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("unparseable value %q", valueField[0])
+	}
+	return name, labels, value, nil
+}
+
+// baseName strips a histogram sample suffix when the stripped name is a
+// declared histogram family, returning the family name and the suffix
+// ("" for plain samples).
+func baseName(name string, typed map[string]string) (base, series string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		trimmed := strings.TrimSuffix(name, suffix)
+		if trimmed != name && typed[trimmed] == "histogram" {
+			return trimmed, suffix
+		}
+	}
+	return name, ""
+}
+
+// validName checks the Prometheus metric name charset.
+func validName(s string) bool {
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}

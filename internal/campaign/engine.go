@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"hbmvolt/internal/report"
 	"hbmvolt/internal/service"
+	"hbmvolt/internal/telemetry"
 )
 
 // Options parameterizes a campaign run.
@@ -44,6 +46,18 @@ type Options struct {
 	CacheDir string
 	// DiskCacheBytes bounds the disk tier (0 = unbounded).
 	DiskCacheBytes int64
+	// Metrics, when non-nil, is the telemetry registry Run's private
+	// manager reports into — the hook the CLI's -metrics dump uses.
+	// Ignored by Execute, which reports into the caller's manager
+	// registry.
+	Metrics *telemetry.Registry
+	// TraceID, when non-empty, rides every cell submission as its
+	// observability trace (see internal/telemetry): the cells' job.*,
+	// cache.*, enum.*, and fleet.* spans all carry it, so one campaign
+	// is followable across coalescing, cache tiers, and fleet forwards.
+	// Strictly write-beside: it never affects cache keys, manifests, or
+	// payload bytes.
+	TraceID string
 	// SharedEnumeration runs the campaign through the sweep planner:
 	// reliability cells are grouped by their (fault-model fingerprint ×
 	// voltage grid × sampling mode) physics sub-key, switched to
@@ -140,6 +154,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (*Result, error) {
 		FleetSize:      1,
 		CacheDir:       opts.CacheDir,
 		DiskCacheBytes: opts.DiskCacheBytes,
+		Metrics:        opts.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("campaign %s: %w", spec.Name, err)
@@ -184,6 +199,9 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 		order = plan.submissionOrder(len(cells))
 	}
 
+	met := newCampaignMetrics(mgr.Metrics())
+	met.cells.With("planned").Add(uint64(len(cells)))
+
 	total := 0
 	for i := range cells {
 		total += cells[i].Repeat
@@ -217,6 +235,7 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 			}
 			payloads[i] = payload
 			done += cells[i].Repeat
+			met.cells.With("replayed").Inc()
 			if opts.OnCell != nil {
 				opts.OnCell(done, total)
 			}
@@ -242,7 +261,7 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 			req := c.Request
 			req.Workers = fleet
 			for {
-				j, _, _, serr := mgr.Submit(req)
+				j, _, _, serr := mgr.SubmitOpts(req, service.SubmitOptions{TraceID: opts.TraceID})
 				if serr == nil {
 					execs = append(execs, execution{cell: i, job: j})
 					break
@@ -290,7 +309,10 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 		if payloads[e.cell] == nil {
 			payloads[e.cell] = payload
 			if jr != nil {
-				if jerr := jr.append(e.cell, c.Key, payload); jerr != nil {
+				start := time.Now()
+				jerr := jr.append(e.cell, c.Key, payload)
+				met.journalAppend.Observe(time.Since(start).Seconds())
+				if jerr != nil {
 					return nil, fmt.Errorf("campaign %s: %w", spec.Name, jerr)
 				}
 			}
@@ -299,6 +321,7 @@ func Execute(ctx context.Context, mgr *service.Manager, spec Spec, opts Options)
 				spec.Name, c.Scenario, c.Index)
 		}
 		done++
+		met.cells.With("completed").Inc()
 		if opts.OnCell != nil {
 			opts.OnCell(done, total)
 		}

@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"hbmvolt/internal/service"
+	"hbmvolt/internal/telemetry"
 )
 
 // API serves the campaign routes on top of a shared sweep-service job
@@ -42,6 +43,7 @@ type apiRun struct {
 	spec   Spec
 	fleet  int
 	shared bool
+	trace  string
 	cancel context.CancelFunc
 
 	mu       sync.Mutex
@@ -92,6 +94,9 @@ type Status struct {
 	Done  int    `json:"done"`
 	Total int    `json:"total"`
 	Error string `json:"error,omitempty"`
+	// Trace is the run's observability trace ID: every cell's spans
+	// across the fleet carry it (see GET /v1/traces/{id}).
+	Trace string `json:"trace,omitempty"`
 	// Manifest is present once State is "done".
 	Manifest *Manifest `json:"manifest,omitempty"`
 }
@@ -106,6 +111,7 @@ func (r *apiRun) status() Status {
 		Done:     r.done,
 		Total:    r.total,
 		Error:    r.errMsg,
+		Trace:    r.trace,
 	}
 	st.Manifest = r.manifest
 	return st
@@ -166,8 +172,18 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The campaign edge mints (or adopts) the trace ID exactly like the
+	// sweep edge: every cell submission carries it, so one ID follows
+	// the whole campaign through coalescing, cache tiers, and fleet
+	// forwards. Observability only — never a cache key or manifest input.
+	trace := r.Header.Get(telemetry.HeaderTraceID)
+	if !telemetry.ValidTraceID(trace) {
+		trace = telemetry.NewTraceID()
+	}
+	w.Header().Set(telemetry.HeaderTraceID, trace)
+
 	ctx, cancel := context.WithCancel(context.Background())
-	run := &apiRun{spec: spec, fleet: body.Fleet, shared: body.Shared, cancel: cancel, state: "running", total: spec.Executions()}
+	run := &apiRun{spec: spec, fleet: body.Fleet, shared: body.Shared, trace: trace, cancel: cancel, state: "running", total: spec.Executions()}
 	a.mu.Lock()
 	if active := a.activeLocked(); active >= maxActiveRuns {
 		a.mu.Unlock()
@@ -193,9 +209,13 @@ func (a *API) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // execute drives one campaign run to completion in the background.
 func (a *API) execute(ctx context.Context, run *apiRun) {
 	defer run.cancel()
+	a.mgr.Recorder().Record(run.trace, "campaign.submit", map[string]string{
+		"campaign": run.spec.Name, "id": run.id,
+	})
 	res, err := Execute(ctx, a.mgr, run.spec, Options{
 		Fleet:             run.fleet,
 		SharedEnumeration: run.shared,
+		TraceID:           run.trace,
 		OnCell: func(done, total int) {
 			run.mu.Lock()
 			run.done, run.total = done, total
@@ -214,6 +234,7 @@ func (a *API) execute(ctx context.Context, run *apiRun) {
 		run.state = "failed"
 		run.errMsg = err.Error()
 	}
+	newCampaignMetrics(a.mgr.Metrics()).runs.With(run.state).Inc()
 }
 
 // activeLocked counts non-terminal runs (a.mu held).

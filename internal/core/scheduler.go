@@ -181,7 +181,7 @@ func (s *SweepScheduler) runSharded(ctx context.Context, cfg *ReliabilityConfig,
 		go func(b *board.Board) {
 			defer wg.Done()
 			for i := range tasks {
-				pt, perr := runVoltagePoint(b, cfg, cfg.Grid[i])
+				pt, perr := runVoltagePoint(ctx, b, cfg, cfg.Grid[i])
 				if perr != nil {
 					fail(perr)
 					return

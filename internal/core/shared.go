@@ -15,6 +15,7 @@ package core
 // (fingerprint × voltage) sub-keys cost nothing at all.
 
 import (
+	"context"
 	"fmt"
 
 	"hbmvolt/internal/board"
@@ -32,7 +33,7 @@ import (
 // pattern set, port set, batch size) and the board's seeded
 // configuration, so sharded sweeps stay bit-identical at any worker
 // count.
-func sharedVoltagePoint(b *board.Board, cfg *ReliabilityConfig, pt VoltagePoint) (VoltagePoint, error) {
+func sharedVoltagePoint(ctx context.Context, b *board.Board, cfg *ReliabilityConfig, pt VoltagePoint) (VoltagePoint, error) {
 	fm := b.Faults
 	vEff := b.Regulator.Vout()
 	words := cfg.WordsPerPort
@@ -53,7 +54,7 @@ func sharedVoltagePoint(b *board.Board, cfg *ReliabilityConfig, pt VoltagePoint)
 			stack, pc := port.StackPC(b.Org)
 			// One physics evaluation per (port, rep); every pattern below
 			// derives from it.
-			e := fm.SharedEnumeration(stack, pc, vEff, uint64(rep), words)
+			e := fm.SharedEnumerationCtx(ctx, stack, pc, vEff, uint64(rep), words)
 			for pi, pat := range cfg.Patterns {
 				f, fw, ok := e.PatternFlips(pat)
 				if !ok {

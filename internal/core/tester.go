@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	"hbmvolt/internal/axi"
@@ -190,7 +191,7 @@ func runSequential(ctx context.Context, cfg *ReliabilityConfig, res *Reliability
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		pt, err := runVoltagePoint(b, cfg, v)
+		pt, err := runVoltagePoint(ctx, b, cfg, v)
 		if err != nil {
 			return err
 		}
@@ -200,6 +201,15 @@ func runSequential(ctx context.Context, cfg *ReliabilityConfig, res *Reliability
 	return nil
 }
 
+// voltageBand buckets a grid voltage into a 0.05 V band for profiling
+// labels, so a CPU profile of a full 1.20 V → 0.81 V sweep attributes
+// samples by physics regime (nominal, degrading, near-critical) with
+// bounded label cardinality.
+func voltageBand(v float64) string {
+	lo := math.Floor(v*20) / 20
+	return fmt.Sprintf("%.2f-%.2f", lo, lo+0.05)
+}
+
 // runVoltagePoint executes one full Algorithm 1 step at voltage v on b:
 // program the rail, record and recover a crash, otherwise run every
 // configured pattern over every port for the whole batch. The outcome is
@@ -207,7 +217,9 @@ func runSequential(ctx context.Context, cfg *ReliabilityConfig, res *Reliability
 // the board's seeded configuration — it depends neither on which board
 // of a fleet evaluates it nor on which points ran before, which is the
 // invariant that makes sharded sweeps bit-identical to sequential ones.
-func runVoltagePoint(b *board.Board, cfg *ReliabilityConfig, v float64) (VoltagePoint, error) {
+// ctx carries profiling labels (mode, voltage band) and the telemetry
+// trace for the enum-store lookups; it never influences the outcome.
+func runVoltagePoint(ctx context.Context, b *board.Board, cfg *ReliabilityConfig, v float64) (VoltagePoint, error) {
 	if err := b.SetHBMVoltage(v); err != nil {
 		return VoltagePoint{}, fmt.Errorf("core: setting %vV: %w", v, err)
 	}
@@ -222,15 +234,37 @@ func runVoltagePoint(b *board.Board, cfg *ReliabilityConfig, v float64) (Voltage
 		return pt, nil
 	}
 
+	mode := "isolated"
 	if cfg.SharedEnumeration {
-		return sharedVoltagePoint(b, cfg, pt)
+		mode = "shared"
 	}
+	var err error
+	pprof.Do(ctx, pprof.Labels("hbmvolt_mode", mode, "hbmvolt_vband", voltageBand(v)), func(ctx context.Context) {
+		if cfg.SharedEnumeration {
+			pt, err = sharedVoltagePoint(ctx, b, cfg, pt)
+		} else {
+			pt, err = isolatedVoltagePoint(ctx, b, cfg, pt)
+		}
+	})
+	if err != nil {
+		return VoltagePoint{}, err
+	}
+	return pt, nil
+}
 
+// isolatedVoltagePoint finishes one non-crashed voltage point on the
+// legacy per-pattern enumeration path, labeling each pattern's
+// fill/check pass for the profiler.
+func isolatedVoltagePoint(ctx context.Context, b *board.Board, cfg *ReliabilityConfig, pt VoltagePoint) (VoltagePoint, error) {
 	scratch := newPortScratch(len(cfg.Ports), cfg.BatchSize)
 	for _, pat := range cfg.Patterns {
-		observations, err := runPorts(b, cfg.Ports, pat, cfg.WordsPerPort, cfg.BatchSize, cfg.Parallel, scratch)
+		var observations []PortObservation
+		var err error
+		pprof.Do(ctx, pprof.Labels("hbmvolt_pattern", pat.Name()), func(context.Context) {
+			observations, err = runPorts(b, cfg.Ports, pat, cfg.WordsPerPort, cfg.BatchSize, cfg.Parallel, scratch)
+		})
 		if err != nil {
-			return VoltagePoint{}, fmt.Errorf("core: pattern %s at %vV: %w", pat.Name(), v, err)
+			return VoltagePoint{}, fmt.Errorf("core: pattern %s at %vV: %w", pat.Name(), pt.Volts, err)
 		}
 		for _, obs := range observations {
 			pt.Observations = append(pt.Observations, obs)

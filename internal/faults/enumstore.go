@@ -17,10 +17,13 @@ package faults
 // functions of their key, so sharing is semantically invisible.
 
 import (
+	"context"
 	"math"
+	"strconv"
 	"sync"
 
 	"hbmvolt/internal/lru"
+	"hbmvolt/internal/telemetry"
 )
 
 // EnumKey addresses one memoized enumeration. Voltages are keyed by
@@ -95,11 +98,20 @@ func newEnumStore(maxBytes int64) *enumStore {
 // waiters — and every later requester — fail loudly or retry instead
 // of blocking forever.
 func (s *enumStore) get(key EnumKey, compute func() *Enumeration) *Enumeration {
+	e, _ := s.getOutcome(key, compute)
+	return e
+}
+
+// getOutcome is get plus the lookup's resolution — "hit" (memoized),
+// "coalesced" (joined an in-flight compute), or "compute" (paid for
+// the physics) — for the trace layer. The outcome is observability
+// metadata only; the returned enumeration is identical either way.
+func (s *enumStore) getOutcome(key EnumKey, compute func() *Enumeration) (*Enumeration, string) {
 	s.mu.Lock()
 	if e, ok := s.lru.Get(key); ok {
 		s.hits++
 		s.mu.Unlock()
-		return e
+		return e, "hit"
 	}
 	if c, ok := s.inflight[key]; ok {
 		s.coalesced++
@@ -108,7 +120,7 @@ func (s *enumStore) get(key EnumKey, compute func() *Enumeration) *Enumeration {
 		if c.e == nil {
 			panic("faults: shared enumeration computation panicked in a concurrent requester")
 		}
-		return c.e
+		return c.e, "coalesced"
 	}
 	c := &enumCall{}
 	c.wg.Add(1)
@@ -127,7 +139,7 @@ func (s *enumStore) get(key EnumKey, compute func() *Enumeration) *Enumeration {
 		c.wg.Done()
 	}()
 	c.e = compute()
-	return c.e
+	return c.e, "compute"
 }
 
 // stats snapshots the counters.
@@ -156,6 +168,15 @@ var sharedEnums = newEnumStore(DefaultEnumCacheBytes)
 // configuration fingerprint. Safe for concurrent use; concurrent
 // requesters of one key coalesce onto a single computation.
 func (m *Model) SharedEnumeration(stack, pc int, v float64, rep, words uint64) *Enumeration {
+	return m.SharedEnumerationCtx(context.Background(), stack, pc, v, rep, words)
+}
+
+// SharedEnumerationCtx is SharedEnumeration with trace propagation:
+// when ctx carries a telemetry recorder, the lookup's resolution
+// (hit / coalesced / compute) is recorded as an "enum.lookup" span on
+// the submission's trace. The enumeration itself is untouched — spans
+// never feed back into physics.
+func (m *Model) SharedEnumerationCtx(ctx context.Context, stack, pc int, v float64, rep, words uint64) *Enumeration {
 	key := EnumKey{
 		Fingerprint: m.Fingerprint(),
 		Sparse:      m.cfg.SparseEnumeration,
@@ -164,11 +185,48 @@ func (m *Model) SharedEnumeration(stack, pc int, v float64, rep, words uint64) *
 		Rep:         rep,
 		Words:       words,
 	}
-	return sharedEnums.get(key, func() *Enumeration {
+	e, outcome := sharedEnums.getOutcome(key, func() *Enumeration {
 		return m.Enumerate(stack, pc, v, rep, words)
 	})
+	if rec := telemetry.RecorderOf(ctx); rec != nil {
+		rec.Record(telemetry.TraceOf(ctx), "enum.lookup", map[string]string{
+			"outcome": outcome,
+			"voltage": strconv.FormatFloat(v, 'f', -1, 64),
+			"pc":      strconv.Itoa(key.PC),
+		})
+	}
+	return e
 }
 
 // EnumStoreStats reports the process-wide enumeration store's
 // occupancy and hit counters.
 func EnumStoreStats() EnumStats { return sharedEnums.stats() }
+
+// RegisterEnumMetrics surfaces the process-wide enumeration store in a
+// telemetry registry as sampler-backed families, so /metrics and the
+// /healthz shared_enums block read the same counters.
+func RegisterEnumMetrics(r *telemetry.Registry) {
+	one := func(v float64) []telemetry.Sample { return []telemetry.Sample{{Value: v}} }
+	r.CounterSampler("hbmvolt_enum_store_requests_total",
+		"Shared-enumeration store lookups by resolution: served memoized (hit), joined an in-flight compute (coalesced), or scheduled a compute (miss).",
+		[]string{"outcome"}, func() []telemetry.Sample {
+			st := EnumStoreStats()
+			return []telemetry.Sample{
+				{Labels: []string{"coalesced"}, Value: float64(st.Coalesced)},
+				{Labels: []string{"hit"}, Value: float64(st.Hits)},
+				{Labels: []string{"miss"}, Value: float64(st.Misses)},
+			}
+		})
+	r.CounterSampler("hbmvolt_enum_store_computes_total",
+		"Enumerations actually computed (unique physics paid for).", nil,
+		func() []telemetry.Sample { return one(float64(EnumStoreStats().Computes)) })
+	r.CounterSampler("hbmvolt_enum_store_evictions_total",
+		"Enumerations evicted from the byte-bounded memo store.", nil,
+		func() []telemetry.Sample { return one(float64(EnumStoreStats().Evictions)) })
+	r.GaugeSampler("hbmvolt_enum_store_entries",
+		"Enumerations currently memoized.", nil,
+		func() []telemetry.Sample { return one(float64(EnumStoreStats().Entries)) })
+	r.GaugeSampler("hbmvolt_enum_store_bytes",
+		"Bytes retained by the enumeration memo store.", nil,
+		func() []telemetry.Sample { return one(float64(EnumStoreStats().Bytes)) })
+}

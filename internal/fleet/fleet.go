@@ -39,6 +39,8 @@ import (
 	"time"
 
 	"hbmvolt/internal/service"
+	"hbmvolt/internal/telemetry"
+	tlog "hbmvolt/internal/telemetry/log"
 )
 
 // Options parameterizes a Forwarder.
@@ -75,9 +77,10 @@ type Options struct {
 	// HTTPClient performs all fleet HTTP (nil → a plain http.Client).
 	// Tests wrap a chaos.Transport here to inject partitions.
 	HTTPClient *http.Client
-	// Logf receives fallback and circuit-transition events (nil =
-	// silent).
-	Logf func(format string, args ...any)
+	// Logger receives fallback and circuit-transition events as
+	// structured JSON records carrying the trace ID of the affected
+	// submission (nil = silent).
+	Logger *tlog.Logger
 }
 
 func (o *Options) fill() {
@@ -238,28 +241,39 @@ func (f *Forwarder) Owner(key uint64) string {
 	return owner
 }
 
-// logf logs through Options.Logf when set.
-func (f *Forwarder) logf(format string, args ...any) {
-	if f.opts.Logf != nil {
-		f.opts.Logf(format, args...)
-	}
+// log returns the structured logger (nil-safe: a nil Options.Logger
+// yields a no-op logger) with the fleet subsystem field bound.
+func (f *Forwarder) log() *tlog.Logger {
+	return f.opts.Logger
 }
 
 // ExecuteSweep implements service.Forwarder: serve the key from its
 // owner, or degrade — byte-identically — to local compute when the
 // owner is this node, unreachable, open-circuit, or slow. A context
 // already cancelled by the caller is never blamed on the peer.
+//
+// The routing decision is observable three ways, all fed here: the
+// serves counters (/metrics, /healthz), a fleet.* span on the
+// submission's trace when ctx carries one, and a structured log record
+// for every degraded serve.
 func (f *Forwarder) ExecuteSweep(ctx context.Context, key uint64, req service.SweepRequest, local func(context.Context) ([]byte, error)) ([]byte, service.ServeInfo, error) {
 	owner := f.Owner(key)
 	if owner == f.self {
 		f.localOwned.Add(1)
+		telemetry.Record(ctx, "fleet.local", map[string]string{
+			"key": service.FormatKey(key),
+		})
 		payload, err := local(ctx)
 		return payload, service.ServeInfo{ServedBy: f.self}, err
 	}
 	p := f.peers[owner]
 	if !p.breaker.Allow() {
 		f.degraded.Add(1)
-		f.logf("fleet: owner %s of key %016x is open-circuit; serving degraded from local compute", owner, key)
+		telemetry.Record(ctx, "fleet.degrade", map[string]string{
+			"key": service.FormatKey(key), "owner": owner, "reason": "open_circuit",
+		})
+		f.log().WithTrace(ctx).Warn("owner open-circuit; serving degraded from local compute",
+			tlog.F("subsys", "fleet"), tlog.F("owner", owner), tlog.F("key", service.FormatKey(key)))
 		payload, err := local(ctx)
 		return payload, service.ServeInfo{ServedBy: f.self, Degraded: true}, err
 	}
@@ -267,6 +281,9 @@ func (f *Forwarder) ExecuteSweep(ctx context.Context, key uint64, req service.Sw
 	if err == nil {
 		p.breaker.Success()
 		f.forwarded.Add(1)
+		telemetry.Record(ctx, "fleet.forward", map[string]string{
+			"key": service.FormatKey(key), "owner": owner,
+		})
 		return payload, service.ServeInfo{ServedBy: owner}, nil
 	}
 	if ctx.Err() != nil {
@@ -277,7 +294,12 @@ func (f *Forwarder) ExecuteSweep(ctx context.Context, key uint64, req service.Sw
 	p.forwardFailures.Add(1)
 	p.breaker.Failure()
 	f.degraded.Add(1)
-	f.logf("fleet: forwarding key %016x to owner %s failed (%v); serving degraded from local compute", key, owner, err)
+	telemetry.Record(ctx, "fleet.degrade", map[string]string{
+		"key": service.FormatKey(key), "owner": owner, "reason": "forward_failed",
+	})
+	f.log().WithTrace(ctx).Warn("forward to owner failed; serving degraded from local compute",
+		tlog.F("subsys", "fleet"), tlog.F("owner", owner),
+		tlog.F("key", service.FormatKey(key)), tlog.Err(err))
 	payload, lerr := local(ctx)
 	return payload, service.ServeInfo{ServedBy: f.self, Degraded: true}, lerr
 }
@@ -381,12 +403,14 @@ func (f *Forwarder) probe(p *peer) {
 	if _, err := p.client.Health(ctx); err != nil {
 		p.probeFailures.Add(1)
 		if p.breaker.Failure() {
-			f.logf("fleet: peer %s unhealthy (%v); circuit open", p.name, err)
+			f.log().Warn("peer unhealthy; circuit open",
+				tlog.F("subsys", "fleet"), tlog.F("peer", p.name), tlog.Err(err))
 		}
 		return
 	}
 	if p.breaker.Success() {
-		f.logf("fleet: peer %s recovered; circuit closed", p.name)
+		f.log().Info("peer recovered; circuit closed",
+			tlog.F("subsys", "fleet"), tlog.F("peer", p.name))
 	}
 }
 
@@ -438,6 +462,56 @@ type Health struct {
 	DegradedServes uint64 `json:"degraded_serves"`
 	// Peers reports each peer's circuit and counters, sorted by name.
 	Peers []PeerHealth `json:"peers"`
+}
+
+// RegisterMetrics surfaces the forwarder's routing and peer-health
+// counters in a telemetry registry as sampler-backed families — the
+// very atomics /healthz's fleet block reads, so the two surfaces agree
+// by construction.
+func (f *Forwarder) RegisterMetrics(r *telemetry.Registry) {
+	r.CounterSampler("hbmvolt_fleet_serves_total",
+		"Sweep executions by routing outcome: local (this node owned the key), forwarded (served by the remote owner), degraded (owner unreachable; computed locally, byte-identical).",
+		[]string{"mode"}, func() []telemetry.Sample {
+			return []telemetry.Sample{
+				{Labels: []string{"degraded"}, Value: float64(f.degraded.Load())},
+				{Labels: []string{"forwarded"}, Value: float64(f.forwarded.Load())},
+				{Labels: []string{"local"}, Value: float64(f.localOwned.Load())},
+			}
+		})
+	perPeer := func(get func(*peer) float64) func() []telemetry.Sample {
+		return func() []telemetry.Sample {
+			var out []telemetry.Sample
+			for _, n := range f.nodes { // sorted; stable exposition order
+				if p, ok := f.peers[n]; ok {
+					out = append(out, telemetry.Sample{Labels: []string{p.name}, Value: get(p)})
+				}
+			}
+			return out
+		}
+	}
+	r.CounterSampler("hbmvolt_fleet_peer_forwards_total",
+		"Forward attempts per peer.", []string{"peer"},
+		perPeer(func(p *peer) float64 { return float64(p.forwards.Load()) }))
+	r.CounterSampler("hbmvolt_fleet_peer_forward_failures_total",
+		"Forward attempts per peer that failed and degraded to local compute.", []string{"peer"},
+		perPeer(func(p *peer) float64 { return float64(p.forwardFailures.Load()) }))
+	r.CounterSampler("hbmvolt_fleet_peer_probes_total",
+		"Active /healthz probes per peer.", []string{"peer"},
+		perPeer(func(p *peer) float64 { return float64(p.probes.Load()) }))
+	r.CounterSampler("hbmvolt_fleet_peer_probe_failures_total",
+		"Active /healthz probes per peer that failed.", []string{"peer"},
+		perPeer(func(p *peer) float64 { return float64(p.probeFailures.Load()) }))
+	r.GaugeSampler("hbmvolt_fleet_peer_circuit_state",
+		"Per-peer circuit breaker state: 0 closed, 1 half-open, 2 open.", []string{"peer"},
+		perPeer(func(p *peer) float64 {
+			switch p.breaker.State() {
+			case circuitHalfOpen:
+				return 1
+			case circuitOpen:
+				return 2
+			}
+			return 0
+		}))
 }
 
 // Health implements service.Forwarder's /healthz hook.

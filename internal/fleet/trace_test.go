@@ -1,0 +1,262 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"hbmvolt/internal/chaos"
+	"hbmvolt/internal/service"
+	"hbmvolt/internal/telemetry"
+	tlog "hbmvolt/internal/telemetry/log"
+)
+
+// The trace suite pins cross-fleet trace propagation: the trace ID a
+// client presents at one node's edge must appear on the span records —
+// and structured log records — of every node its sweep touches, healthy
+// or partitioned. Traces are observability-only, so every scenario also
+// reconfirms the payload byte-identity the fleet already guarantees.
+
+// traceSite is the chaos injection site wrapping the submitting node's
+// fleet transport in the degraded scenarios.
+const traceSite = "fleet.trace.forward"
+
+// logBuffer is a goroutine-safe sink for structured log records.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// records decodes every buffered line into its structured fields.
+func (b *logBuffer) records(t *testing.T) []map[string]any {
+	t.Helper()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []map[string]any
+	for _, line := range bytes.Split(b.buf.Bytes(), []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("log line is not one JSON object: %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// tracedClient is a service client that presents the trace ID on every
+// request, the way an instrumented caller would.
+func tracedClient(url, trace string) *service.Client {
+	c := service.NewClient(url)
+	c.Header = http.Header{telemetry.HeaderTraceID: []string{trace}}
+	return c
+}
+
+// remoteSpans fetches one node's retained spans for a trace over the
+// wire (GET /v1/traces/{id}).
+func remoteSpans(t *testing.T, url, trace string) []telemetry.Span {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/traces/" + trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/traces/%s on %s: HTTP %d", trace, url, resp.StatusCode)
+	}
+	var body struct {
+		Trace string           `json:"trace"`
+		Spans []telemetry.Span `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Trace != trace {
+		t.Fatalf("trace body echoes %q, want %q", body.Trace, trace)
+	}
+	return body.Spans
+}
+
+// spanNames collects the set of span names, asserting every span
+// carries exactly the wanted trace and the node's own identity.
+func spanNames(t *testing.T, spans []telemetry.Span, trace, node string) map[string]bool {
+	t.Helper()
+	names := make(map[string]bool)
+	for _, s := range spans {
+		if s.Trace != trace {
+			t.Fatalf("span %q carries trace %q, want %q", s.Name, s.Trace, trace)
+		}
+		if s.Node != node {
+			t.Fatalf("span %q stamped node %q, want %q", s.Name, s.Node, node)
+		}
+		names[s.Name] = true
+	}
+	return names
+}
+
+// TestTracePropagatesAcrossForward pins the happy path: a trace minted
+// by the client and presented to a non-owner node appears on the span
+// records of both the forwarder and the owner — one ID, two nodes —
+// while the third node never sees it.
+func TestTracePropagatesAcrossForward(t *testing.T) {
+	nodes := startNodes(t, 3, nil)
+	trace := "trace-forward-e2e"
+	seed := seedOwnedBy(t, nodes[0].fwd, nodes[1].url)
+	req := smallReq(seed)
+	want := localPayload(t, req)
+
+	c := tracedClient(nodes[0].url, trace)
+	sub, err := c.Submit(t.Context(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err := c.Wait(t.Context(), sub.ID); err != nil || st != service.StateDone {
+		t.Fatalf("Wait = %v, %v", st, err)
+	}
+	payload, err := c.Result(t.Context(), sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, want) {
+		t.Fatal("forwarded payload differs from single-node compute")
+	}
+
+	// The forwarder's records: submission accepted, then served via the
+	// fleet forward path, all under the presented trace.
+	fwdNames := spanNames(t, remoteSpans(t, nodes[0].url, trace), trace, nodes[0].url)
+	for _, wantSpan := range []string{"job.submit", "fleet.forward", "job.run"} {
+		if !fwdNames[wantSpan] {
+			t.Fatalf("forwarder spans %v: missing %q", fwdNames, wantSpan)
+		}
+	}
+	// The owner's records: it adopted the same trace from the forwarded
+	// request's header and ran the sweep under it.
+	ownerNames := spanNames(t, remoteSpans(t, nodes[1].url, trace), trace, nodes[1].url)
+	for _, wantSpan := range []string{"job.submit", "job.run"} {
+		if !ownerNames[wantSpan] {
+			t.Fatalf("owner spans %v: missing %q", ownerNames, wantSpan)
+		}
+	}
+	// The bystander never touched the sweep: no spans under this trace.
+	if spans := remoteSpans(t, nodes[2].url, trace); len(spans) != 0 {
+		t.Fatalf("bystander node retains %d spans for the trace, want 0", len(spans))
+	}
+}
+
+// TestTraceSurvivesDegradedServes pins the partitioned paths: when the
+// owner is down the degraded serve keeps the trace on the forwarder's
+// span records and its structured fleet logs; when the transfer severs
+// mid-body the owner has already adopted the trace, so one ID ends up
+// on both nodes' records even though the forward failed.
+func TestTraceSurvivesDegradedServes(t *testing.T) {
+	t.Run("owner-down", func(t *testing.T) {
+		logs := &logBuffer{}
+		nodes := startNodes(t, 3, func(i int, o *Options) {
+			o.ForwardTimeout = 300 * time.Millisecond
+			if i == 0 {
+				o.Logger = tlog.New(logs, tlog.LevelDebug)
+			}
+		})
+		trace := "trace-owner-down"
+		seed := seedOwnedBy(t, nodes[0].fwd, nodes[1].url)
+		req := smallReq(seed)
+		want := localPayload(t, req)
+		nodes[1].kill()
+
+		c := tracedClient(nodes[0].url, trace)
+		sub, err := c.Submit(t.Context(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := c.Wait(t.Context(), sub.ID); err != nil || st != service.StateDone {
+			t.Fatalf("Wait = %v, %v", st, err)
+		}
+		payload, err := c.Result(t.Context(), sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatal("degraded payload differs from single-node compute")
+		}
+
+		names := spanNames(t, remoteSpans(t, nodes[0].url, trace), trace, nodes[0].url)
+		for _, wantSpan := range []string{"job.submit", "fleet.degrade", "job.run"} {
+			if !names[wantSpan] {
+				t.Fatalf("degraded-serve spans %v: missing %q", names, wantSpan)
+			}
+		}
+		// The degradation's structured log record carries the same trace
+		// as a field — asserted on fields, not substrings.
+		found := false
+		for _, rec := range logs.records(t) {
+			if rec["subsys"] == "fleet" && rec["trace"] == trace {
+				if rec["level"] != "warn" {
+					t.Fatalf("fleet degrade record at level %v, want warn: %v", rec["level"], rec)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no structured fleet log record carries trace %q: %v", trace, logs.records(t))
+		}
+	})
+
+	t.Run("drop-mid-body", func(t *testing.T) {
+		// Transfers sever mid-body: the owner receives (and traces) the
+		// forwarded submission, but the forwarder cannot finish collecting
+		// the result and degrades to local compute. One trace ID must end
+		// up on both nodes' span records.
+		defer chaos.Activate(chaos.NewPlan().Set(traceSite,
+			chaos.Fault{HTTP: chaos.HTTPDropBody, DropAfter: 64}))()
+		nodes := startNodes(t, 3, func(i int, o *Options) {
+			o.ForwardTimeout = 500 * time.Millisecond
+			if i == 0 {
+				o.HTTPClient = &http.Client{Transport: &chaos.Transport{Site: traceSite}}
+			}
+		})
+		trace := "trace-drop-mid-body"
+		seed := seedOwnedBy(t, nodes[0].fwd, nodes[1].url)
+		req := smallReq(seed)
+		want := localPayload(t, req)
+
+		c := tracedClient(nodes[0].url, trace)
+		sub, err := c.Submit(t.Context(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err := c.Wait(t.Context(), sub.ID); err != nil || st != service.StateDone {
+			t.Fatalf("Wait = %v, %v", st, err)
+		}
+		payload, err := c.Result(t.Context(), sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, want) {
+			t.Fatal("degraded payload differs from single-node compute")
+		}
+
+		names := spanNames(t, remoteSpans(t, nodes[0].url, trace), trace, nodes[0].url)
+		for _, wantSpan := range []string{"job.submit", "fleet.degrade", "job.run"} {
+			if !names[wantSpan] {
+				t.Fatalf("forwarder spans %v: missing %q", names, wantSpan)
+			}
+		}
+		// The owner adopted the trace from the severed forward before the
+		// transfer died: its records carry the same ID.
+		ownerNames := spanNames(t, remoteSpans(t, nodes[1].url, trace), trace, nodes[1].url)
+		if !ownerNames["job.submit"] {
+			t.Fatalf("owner spans %v: missing %q (trace should have been adopted before the transfer severed)", ownerNames, "job.submit")
+		}
+	})
+}

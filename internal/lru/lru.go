@@ -31,6 +31,7 @@ type Cache[K comparable, V any] struct {
 	order      *list.List // front = most recently used
 	entries    map[K]*list.Element
 	onEvict    func(K, V)
+	evictions  uint64
 }
 
 // OnEvict registers a callback invoked for every entry dropped by
@@ -79,6 +80,7 @@ func (c *Cache[K, V]) Add(key K, value V, size int64) (evicted int) {
 		delete(c.entries, ent.key)
 		c.bytes -= ent.size
 		evicted++
+		c.evictions++
 		if c.onEvict != nil {
 			c.onEvict(ent.key, ent.val)
 		}
@@ -103,6 +105,11 @@ func (c *Cache[K, V]) Remove(key K) bool {
 
 // Len returns the live entry count.
 func (c *Cache[K, V]) Len() int { return c.order.Len() }
+
+// Evictions returns the cumulative count of entries dropped by
+// capacity eviction since construction (Remove calls excluded) — the
+// counter the telemetry layer surfaces per cache tier.
+func (c *Cache[K, V]) Evictions() uint64 { return c.evictions }
 
 // Bytes returns the total accounted size of retained entries.
 func (c *Cache[K, V]) Bytes() int64 { return c.bytes }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"hbmvolt/internal/telemetry"
 )
 
 // latencyTracker keeps a sliding window of recent job durations and
@@ -103,7 +105,9 @@ type rateLimiter struct {
 
 	mu      sync.Mutex
 	buckets map[string]*bucket
-	denied  uint64
+	// denied is the hbmvolt_admission_rejected_total{reason="rate"}
+	// counter — /healthz reads the same series through Denied().
+	denied *telemetry.Counter
 
 	// now is the clock, injectable in tests.
 	now func() time.Time
@@ -118,15 +122,20 @@ type bucket struct {
 const maxClients = 16384
 
 // newRateLimiter builds a limiter; rate <= 0 disables limiting (Allow
-// always succeeds).
-func newRateLimiter(rate float64, burst int) *rateLimiter {
+// always succeeds). denied is the rejection counter to increment on
+// every refused submission; nil gets a private unregistered counter.
+func newRateLimiter(rate float64, burst int, denied *telemetry.Counter) *rateLimiter {
 	if burst < 1 {
 		burst = 1
+	}
+	if denied == nil {
+		denied = &telemetry.Counter{}
 	}
 	return &rateLimiter{
 		rate:    rate,
 		burst:   float64(burst),
 		buckets: make(map[string]*bucket),
+		denied:  denied,
 		now:     time.Now,
 	}
 }
@@ -156,7 +165,7 @@ func (l *rateLimiter) Allow(client string) (ok bool, retryAfter int) {
 		b.tokens--
 		return true, 0
 	}
-	l.denied++
+	l.denied.Inc()
 	need := (1 - b.tokens) / l.rate
 	secs := int(math.Ceil(need))
 	if secs < 1 {
@@ -165,14 +174,13 @@ func (l *rateLimiter) Allow(client string) (ok bool, retryAfter int) {
 	return false, secs
 }
 
-// Denied returns the cumulative rejected-submission count.
+// Denied returns the cumulative rejected-submission count, read from
+// the same counter /metrics renders.
 func (l *rateLimiter) Denied() uint64 {
 	if l == nil {
 		return 0
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.denied
+	return l.denied.Value()
 }
 
 // evictIdleLocked drops buckets that have been idle long enough to have

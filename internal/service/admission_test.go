@@ -52,7 +52,7 @@ func TestRetryAfterSeconds(t *testing.T) {
 }
 
 func TestRateLimiterBucket(t *testing.T) {
-	l := newRateLimiter(1, 3) // 1 token/s, burst 3
+	l := newRateLimiter(1, 3, nil) // 1 token/s, burst 3
 	now := time.Unix(1000, 0)
 	l.now = func() time.Time { return now }
 
@@ -87,7 +87,7 @@ func TestRateLimiterDisabled(t *testing.T) {
 	if ok, _ := l.Allow("x"); !ok {
 		t.Fatal("nil limiter denied")
 	}
-	l = newRateLimiter(0, 0)
+	l = newRateLimiter(0, 0, nil)
 	for i := 0; i < 1000; i++ {
 		if ok, _ := l.Allow("x"); !ok {
 			t.Fatal("disabled limiter denied")

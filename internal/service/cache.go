@@ -1,9 +1,11 @@
 package service
 
 import (
+	"fmt"
 	"sync"
 
 	"hbmvolt/internal/lru"
+	"hbmvolt/internal/telemetry"
 )
 
 // CacheTier is one storage level of the result cache: a payload store
@@ -81,6 +83,13 @@ func (t *MemoryTier) Bytes() int64 {
 	return t.lru.Bytes()
 }
 
+// Evictions returns the cumulative capacity-eviction count.
+func (t *MemoryTier) Evictions() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lru.Evictions()
+}
+
 // Close is a no-op for the memory tier.
 func (t *MemoryTier) Close() error { return nil }
 
@@ -102,36 +111,70 @@ type resultCache struct {
 	// tiers is ordered fastest-first; tiers[0] is always the MemoryTier,
 	// tiers[1] (when present) the DiskTier.
 	tiers []CacheTier
+	// names labels the tiers in /metrics ("memory", "disk").
+	names []string
 
-	hits, misses uint64
-	// tierHits[i] counts Gets answered by tiers[i]; tierHits[0] plus
-	// Touch events equals memory-tier hits.
-	tierHits []uint64
+	// hit[i] / miss[i] are the hbmvolt_cache_requests_total series for
+	// tiers[i]: a hit answers from that tier, a miss falls through to
+	// the next (or, from the last tier, to compute). /healthz derives
+	// its cache_hits/cache_misses from these same counters — Touch
+	// counts as a memory hit, a composite miss is a last-tier miss.
+	hit, miss []*telemetry.Counter
 }
 
-func newResultCache(tiers ...CacheTier) *resultCache {
-	return &resultCache{tiers: tiers, tierHits: make([]uint64, len(tiers))}
+// tierName labels a cache tier for metrics.
+func tierName(t CacheTier, i int) string {
+	switch t.(type) {
+	case *MemoryTier:
+		return "memory"
+	case *DiskTier:
+		return "disk"
+	}
+	return fmt.Sprintf("tier%d", i)
+}
+
+// newResultCache composes tiers fastest-first, registering each tier's
+// lookup counters in met (nil met gets a private throwaway registry,
+// for tests that only care about cache behavior).
+func newResultCache(met *serviceMetrics, tiers ...CacheTier) *resultCache {
+	if met == nil {
+		met = newServiceMetrics(telemetry.NewRegistry())
+	}
+	c := &resultCache{tiers: tiers}
+	for i, t := range tiers {
+		name := tierName(t, i)
+		c.names = append(c.names, name)
+		c.hit = append(c.hit, met.cacheReq.With(name, "hit"))
+		c.miss = append(c.miss, met.cacheReq.With(name, "miss"))
+	}
+	return c
 }
 
 // Get returns the payload for key from the fastest tier holding it,
 // promoting lower-tier hits into the tiers above.
 func (c *resultCache) Get(key uint64) ([]byte, bool) {
+	payload, _, ok := c.getTier(key)
+	return payload, ok
+}
+
+// getTier is Get plus the name of the tier that answered, for the
+// trace layer's cache.lookup spans.
+func (c *resultCache) getTier(key uint64) (payload []byte, tier string, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for i, tier := range c.tiers {
-		payload, ok := tier.Get(key)
+	for i, t := range c.tiers {
+		payload, ok := t.Get(key)
 		if !ok {
+			c.miss[i].Inc()
 			continue
 		}
 		for j := 0; j < i; j++ {
 			c.tiers[j].Put(key, payload)
 		}
-		c.hits++
-		c.tierHits[i]++
-		return payload, true
+		c.hit[i].Inc()
+		return payload, c.names[i], true
 	}
-	c.misses++
-	return nil, false
+	return nil, "", false
 }
 
 // Put stores a payload write-through: every tier receives it, so a
@@ -153,7 +196,7 @@ func (c *resultCache) Put(key uint64, payload []byte) {
 func (c *resultCache) Touch(key uint64, payload []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.hits++
+	c.hit[0].Inc()
 	for _, tier := range c.tiers {
 		tier.Put(key, payload)
 	}
@@ -165,11 +208,24 @@ func (c *resultCache) Len() int { return c.tiers[0].Len() }
 // Bytes returns the payload bytes retained by the memory tier.
 func (c *resultCache) Bytes() int64 { return c.tiers[0].Bytes() }
 
-// Stats returns cumulative hit/miss counters (hits across all tiers).
+// Stats returns cumulative hit/miss counters, read from the same
+// telemetry series /metrics renders: hits across all tiers (Touch
+// included), misses of the last tier (a composite miss).
 func (c *resultCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	for _, h := range c.hit {
+		hits += h.Value()
+	}
+	return hits, c.miss[len(c.miss)-1].Value()
+}
+
+// sampleTiers snapshots one per-tier value as labeled samples, for the
+// registry's sampler-backed cache families.
+func (c *resultCache) sampleTiers(f func(CacheTier) float64) []telemetry.Sample {
+	out := make([]telemetry.Sample, len(c.tiers))
+	for i, t := range c.tiers {
+		out[i] = telemetry.Sample{Labels: []string{c.names[i]}, Value: f(t)}
+	}
+	return out
 }
 
 // disk returns the disk tier, if one is configured.
@@ -184,10 +240,10 @@ func (c *resultCache) disk() (*DiskTier, bool) {
 
 // diskHits returns the cumulative Gets answered by the disk tier.
 func (c *resultCache) diskHits() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.tierHits) > 1 {
-		return c.tierHits[1]
+	for i, name := range c.names {
+		if name == "disk" {
+			return c.hit[i].Value()
+		}
 	}
 	return 0
 }

@@ -15,6 +15,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"hbmvolt/internal/telemetry"
 )
 
 // Client is a typed consumer of the sweep service API. The zero value
@@ -117,6 +119,13 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte) (
 		for _, v := range vs {
 			req.Header.Add(k, v)
 		}
+	}
+	// A trace riding the context propagates to the server — this is how
+	// one trace ID spans a fleet forward: the forwarding node's run
+	// context carries the submission's trace, so the owner adopts it
+	// instead of minting its own.
+	if id := telemetry.TraceOf(ctx); id != "" && req.Header.Get(telemetry.HeaderTraceID) == "" {
+		req.Header.Set(telemetry.HeaderTraceID, id)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")

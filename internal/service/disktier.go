@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"log"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -13,6 +12,7 @@ import (
 
 	"hbmvolt/internal/chaos"
 	"hbmvolt/internal/lru"
+	tlog "hbmvolt/internal/telemetry/log"
 )
 
 // DiskTier is the crash-durable CacheTier: one file per payload under a
@@ -53,7 +53,9 @@ type DiskTier struct {
 	discarded int
 	evicted   int
 
-	logf func(format string, args ...any)
+	// log carries the tier's structured discard/eviction reports, with
+	// subsys=disktier pre-bound; every record names its event and entry.
+	log *tlog.Logger
 }
 
 // DiskStats describes the disk tier for /healthz.
@@ -79,11 +81,12 @@ const diskHeaderMagic = "hbmvolt-cache 1"
 
 // NewDiskTier opens (creating if needed) a disk tier rooted at dir and
 // runs the recovery scan. maxBytes bounds total retained payload bytes
-// (0 = unbounded). logf receives loud, human-readable reports of every
-// discarded entry; nil means log.Printf.
-func NewDiskTier(dir string, maxBytes int64, logf func(format string, args ...any)) (*DiskTier, error) {
-	if logf == nil {
-		logf = log.Printf
+// (0 = unbounded). logger receives a structured JSON record for every
+// discarded entry; nil falls back to a stderr logger, so corruption
+// reports stay loud by default.
+func NewDiskTier(dir string, maxBytes int64, logger *tlog.Logger) (*DiskTier, error) {
+	if logger == nil {
+		logger = tlog.New(os.Stderr, tlog.LevelInfo)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("disk cache tier: %w", err)
@@ -91,13 +94,14 @@ func NewDiskTier(dir string, maxBytes int64, logf func(format string, args ...an
 	d := &DiskTier{
 		dir:   dir,
 		index: lru.New[uint64, int64](0, maxBytes),
-		logf:  logf,
+		log:   logger.With(tlog.F("subsys", "disktier")),
 	}
 	d.index.OnEvict(func(key uint64, _ int64) {
 		// Called with d.mu held (every index mutation is under it).
 		d.evicted++
 		if err := os.Remove(d.path(key)); err != nil && !os.IsNotExist(err) {
-			d.logf("disk cache tier: evicting %016x: %v", key, err)
+			d.log.Warn("unlinking evicted entry failed",
+				tlog.F("event", "evict_unlink_failed"), tlog.F("key", formatKey(key)), tlog.Err(err))
 		}
 	})
 	if err := d.recover(); err != nil {
@@ -136,7 +140,8 @@ func (d *DiskTier) recover() error {
 			// never visible, so removal loses nothing.
 			os.Remove(full)
 			d.discarded++
-			d.logf("disk cache tier: recovery: removed torn temp file %s", name)
+			d.log.Warn("recovery removed torn temp file",
+				tlog.F("event", "torn_temp_removed"), tlog.F("file", name))
 			continue
 		}
 		if !strings.HasSuffix(name, ".cache") {
@@ -146,13 +151,15 @@ func (d *DiskTier) recover() error {
 		if err != nil {
 			os.Remove(full)
 			d.discarded++
-			d.logf("disk cache tier: recovery: discarded corrupt entry %s: %v", name, err)
+			d.log.Warn("recovery discarded corrupt entry",
+				tlog.F("event", "discarded"), tlog.F("file", name), tlog.Err(err))
 			continue
 		}
 		if fmt.Sprintf("%016x.cache", key) != name {
 			os.Remove(full)
 			d.discarded++
-			d.logf("disk cache tier: recovery: discarded entry %s: header key %016x does not match filename", name, key)
+			d.log.Warn("recovery discarded entry: header key does not match filename",
+				tlog.F("event", "discarded"), tlog.F("file", name), tlog.F("header_key", formatKey(key)))
 			continue
 		}
 		d.index.Add(key, int64(len(payload)), int64(len(payload)))
@@ -226,10 +233,12 @@ func (d *DiskTier) Get(key uint64) ([]byte, bool) {
 	if err != nil {
 		d.index.Remove(key)
 		if rmErr := os.Remove(d.path(key)); rmErr != nil && !os.IsNotExist(rmErr) {
-			d.logf("disk cache tier: removing corrupt entry %016x: %v", key, rmErr)
+			d.log.Warn("removing corrupt entry failed",
+				tlog.F("event", "discard_unlink_failed"), tlog.F("key", formatKey(key)), tlog.Err(rmErr))
 		}
 		d.discarded++
-		d.logf("disk cache tier: DISCARDED entry %016x on read: %v (will recompute)", key, err)
+		d.log.Warn("discarded entry on read; will recompute",
+			tlog.F("event", "discarded"), tlog.F("key", formatKey(key)), tlog.Err(err))
 		return nil, false
 	}
 	return payload, true
@@ -246,7 +255,8 @@ func (d *DiskTier) Put(key uint64, payload []byte) {
 		return
 	}
 	if err := d.write(key, payload); err != nil {
-		d.logf("disk cache tier: writing entry %016x: %v (entry not persisted)", key, err)
+		d.log.Warn("writing entry failed; entry not persisted",
+			tlog.F("event", "write_failed"), tlog.F("key", formatKey(key)), tlog.Err(err))
 		return
 	}
 	d.index.Add(key, int64(len(payload)), int64(len(payload)))

@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -10,26 +11,58 @@ import (
 	"testing"
 
 	"hbmvolt/internal/chaos"
+	tlog "hbmvolt/internal/telemetry/log"
 )
 
-// discardLogf swallows the tier's loud corruption reports in tests that
-// provoke them on purpose; tests asserting on the reports collect them.
-func collectLogs(t *testing.T) (logf func(string, ...any), lines *[]string) {
-	t.Helper()
-	var buf []string
-	return func(format string, args ...any) {
-		buf = append(buf, fmt.Sprintf(format, args...))
-	}, &buf
+// logCapture collects the tier's structured JSON log lines so tests
+// assert on fields (event, key, subsys), not message substrings.
+type logCapture struct {
+	buf bytes.Buffer
 }
 
-func newTestDiskTier(t *testing.T, maxBytes int64) (*DiskTier, *[]string) {
+// records decodes every captured line.
+func (c *logCapture) records(t *testing.T) []map[string]any {
 	t.Helper()
-	logf, lines := collectLogs(t)
-	d, err := NewDiskTier(t.TempDir(), maxBytes, logf)
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(c.buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// withEvent filters records to those whose "event" field matches.
+func (c *logCapture) withEvent(t *testing.T, event string) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, rec := range c.records(t) {
+		if rec["event"] == event {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func collectLogs(t *testing.T) (*tlog.Logger, *logCapture) {
+	t.Helper()
+	cap := &logCapture{}
+	return tlog.New(&cap.buf, tlog.LevelDebug), cap
+}
+
+func newTestDiskTier(t *testing.T, maxBytes int64) (*DiskTier, *logCapture) {
+	t.Helper()
+	logger, logs := collectLogs(t)
+	d, err := NewDiskTier(t.TempDir(), maxBytes, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return d, lines
+	return d, logs
 }
 
 func TestDiskTierRoundTrip(t *testing.T) {
@@ -70,8 +103,8 @@ func TestDiskTierRoundTrip(t *testing.T) {
 
 func TestDiskTierRecoveryScan(t *testing.T) {
 	dir := t.TempDir()
-	logf, _ := collectLogs(t)
-	d, err := NewDiskTier(dir, 0, logf)
+	logger, _ := collectLogs(t)
+	d, err := NewDiskTier(dir, 0, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,8 +137,8 @@ func TestDiskTierRecoveryScan(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	logf2, lines := collectLogs(t)
-	d2, err := NewDiskTier(dir, 0, logf2)
+	logger2, logs := collectLogs(t)
+	d2, err := NewDiskTier(dir, 0, logger2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,13 +160,23 @@ func TestDiskTierRecoveryScan(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, ".tmp-12345")); !os.IsNotExist(err) {
 		t.Fatal("stray temp file survived recovery")
 	}
-	if len(*lines) == 0 {
-		t.Fatal("recovery discarded entries silently — the contract says loudly")
+	// The discards were reported as structured records naming their
+	// event and subsystem — two corrupt/torn entries plus one temp file.
+	if got := len(logs.withEvent(t, "discarded")); got != 2 {
+		t.Fatalf("want 2 structured 'discarded' records, got %d: %v", got, logs.records(t))
+	}
+	if got := len(logs.withEvent(t, "torn_temp_removed")); got != 1 {
+		t.Fatalf("want 1 'torn_temp_removed' record, got %d", got)
+	}
+	for _, rec := range logs.records(t) {
+		if rec["subsys"] != "disktier" || rec["level"] != "warn" {
+			t.Fatalf("record missing subsys/level fields: %v", rec)
+		}
 	}
 }
 
 func TestDiskTierReadVerification(t *testing.T) {
-	d, lines := newTestDiskTier(t, 0)
+	d, logs := newTestDiskTier(t, 0)
 	d.Put(7, []byte("some payload bytes"))
 
 	// Flip one payload byte under the tier's feet.
@@ -156,14 +199,14 @@ func TestDiskTierReadVerification(t *testing.T) {
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Fatal("corrupt file not unlinked")
 	}
-	found := false
-	for _, l := range *lines {
-		if strings.Contains(l, "DISCARDED") {
-			found = true
-		}
+	// The discard is a structured record carrying the entry key, not a
+	// substring in prose.
+	discards := logs.withEvent(t, "discarded")
+	if len(discards) != 1 {
+		t.Fatalf("want 1 structured 'discarded' record, got %v", logs.records(t))
 	}
-	if !found {
-		t.Fatalf("no loud discard log; got %q", *lines)
+	if discards[0]["key"] != FormatKey(7) || discards[0]["err"] == "" {
+		t.Fatalf("discard record missing key/err fields: %v", discards[0])
 	}
 	// Re-Put recomputed bytes: the entry is servable again.
 	d.Put(7, []byte("some payload bytes"))
@@ -190,7 +233,7 @@ func TestDiskTierByteBoundEviction(t *testing.T) {
 }
 
 func TestDiskTierWriteFaultInjection(t *testing.T) {
-	d, lines := newTestDiskTier(t, 0)
+	d, logs := newTestDiskTier(t, 0)
 	defer chaos.Activate(chaos.NewPlan().Set("disktier.write", chaos.Fault{
 		Err: errors.New("injected ENOSPC"), Count: 1,
 	}))()
@@ -198,8 +241,8 @@ func TestDiskTierWriteFaultInjection(t *testing.T) {
 	if _, ok := d.Get(9); ok {
 		t.Fatal("entry served though its write failed")
 	}
-	if len(*lines) == 0 {
-		t.Fatal("failed write not logged")
+	if got := logs.withEvent(t, "write_failed"); len(got) != 1 || got[0]["key"] != FormatKey(9) {
+		t.Fatalf("failed write not logged as structured record: %v", logs.records(t))
 	}
 	// The tier keeps working after the fault clears.
 	d.Put(9, []byte("second attempt"))
@@ -210,12 +253,12 @@ func TestDiskTierWriteFaultInjection(t *testing.T) {
 
 func TestTieredCacheWriteThroughAndPromotion(t *testing.T) {
 	mem := NewMemoryTier(2, 1<<20)
-	logf, _ := collectLogs(t)
-	disk, err := NewDiskTier(t.TempDir(), 0, logf)
+	logger, _ := collectLogs(t)
+	disk, err := NewDiskTier(t.TempDir(), 0, logger)
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := newResultCache(mem, disk)
+	c := newResultCache(nil, mem, disk)
 
 	c.Put(1, []byte("one"))
 	if disk.Len() != 1 {

@@ -49,4 +49,9 @@ type SubmitOptions struct {
 	// nodes that each believe the other owns a key — degrades to an
 	// extra local compute instead of a forwarding loop.
 	NoForward bool
+	// TraceID is the submission's trace (minted or adopted at the HTTP
+	// edge from X-Hbmvolt-Trace-Id). Observability only: it rides the
+	// job's run context across fleet forwards and into span recorders,
+	// and is never part of the cache key.
+	TraceID string
 }

@@ -4,8 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"hbmvolt/internal/board"
@@ -14,6 +15,8 @@ import (
 	"hbmvolt/internal/hbm"
 	"hbmvolt/internal/pattern"
 	"hbmvolt/internal/report"
+	"hbmvolt/internal/telemetry"
+	tlog "hbmvolt/internal/telemetry/log"
 )
 
 // JobState is the lifecycle of one submitted sweep.
@@ -61,6 +64,11 @@ type Job struct {
 
 	// noForward pins execution to this node (see SubmitOptions).
 	noForward bool
+	// trace is the submission's trace ID (minted or adopted at the HTTP
+	// edge), immutable after submit. Observability only: it is never
+	// part of the cache key, so identical requests with different traces
+	// still coalesce.
+	trace string
 
 	mu      sync.Mutex
 	state   JobState
@@ -147,6 +155,7 @@ func (j *Job) Snapshot() JobStatus {
 		Error:    j.errMsg,
 		ServedBy: j.serve.ServedBy,
 		Degraded: j.serve.Degraded,
+		Trace:    j.trace,
 	}
 	for i := len(j.events) - 1; i >= 0; i-- {
 		if j.events[i].Type == "progress" {
@@ -177,6 +186,10 @@ func (j *Job) setServeInfo(info ServeInfo) {
 	defer j.mu.Unlock()
 	j.serve = info
 }
+
+// Trace returns the submission's trace ID ("" for programmatic
+// submissions that carried none).
+func (j *Job) Trace() string { return j.trace }
 
 // State returns the current lifecycle state.
 func (j *Job) State() JobState {
@@ -227,6 +240,9 @@ type JobStatus struct {
 	// Empty/false outside fleet mode.
 	ServedBy string `json:"served_by,omitempty"`
 	Degraded bool   `json:"degraded,omitempty"`
+	// Trace is the submission's trace ID, when one was minted or adopted
+	// at the edge (X-Hbmvolt-Trace-Id).
+	Trace string `json:"trace,omitempty"`
 }
 
 // Config parameterizes a Manager (and its Server).
@@ -279,6 +295,16 @@ type Config struct {
 	// fetched from their owner, and any failure to reach the owner
 	// degrades byte-identically to local compute (see internal/fleet).
 	Forwarder Forwarder
+	// Metrics, when non-nil, is the registry the manager registers its
+	// instrument families in — the daemon shares one registry across the
+	// service, fleet and campaign layers so GET /metrics renders them
+	// all. Nil gets a private registry (still served at /metrics).
+	Metrics *telemetry.Registry
+	// Logger receives the manager's structured JSON logs (disk-tier
+	// discards, job failures). Nil silences the manager's own logs, but
+	// the disk tier still falls back to a stderr logger — corruption
+	// reports stay loud even in embedded managers.
+	Logger *tlog.Logger
 }
 
 func (c *Config) fill() {
@@ -328,6 +354,15 @@ type Manager struct {
 	// computing a job locally (Config.Forwarder).
 	forward Forwarder
 
+	// reg/met/rec are the telemetry surface: the registry /metrics
+	// renders, the manager's live instruments in it, and the bounded
+	// span recorder trace IDs resolve against. /healthz re-derives its
+	// counters from met, so the two surfaces cannot drift.
+	reg    *telemetry.Registry
+	met    *serviceMetrics
+	rec    *telemetry.Recorder
+	logger *tlog.Logger
+
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
@@ -343,11 +378,6 @@ type Manager struct {
 	// order lists job IDs in creation order, for MaxJobs eviction.
 	order []string
 	queue chan *Job
-
-	// runs counts sweeps actually executed (cache hits and coalesced
-	// submissions do not increment it) — the observable the coalescing
-	// tests and the smoke job assert on.
-	runs atomic.Uint64
 
 	// runSweep executes one job's sweep and returns the marshaled
 	// payload. Overridable in tests to control timing; defaults to the
@@ -375,27 +405,41 @@ func NewManager(cfg Config) *Manager {
 // pool.
 func OpenManager(cfg Config) (*Manager, error) {
 	cfg.fill()
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	met := newServiceMetrics(reg)
 	tiers := []CacheTier{NewMemoryTier(cfg.CacheEntries, cfg.CacheBytes)}
 	if cfg.CacheDir != "" {
-		disk, err := NewDiskTier(cfg.CacheDir, cfg.DiskCacheBytes, nil)
+		disk, err := NewDiskTier(cfg.CacheDir, cfg.DiskCacheBytes, cfg.Logger)
 		if err != nil {
 			return nil, err
 		}
 		tiers = append(tiers, disk)
 	}
+	node := "local"
+	if cfg.Forwarder != nil {
+		node = cfg.Forwarder.Self()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
-		cache:   newResultCache(tiers...),
+		cache:   newResultCache(met, tiers...),
 		latency: newLatencyTracker(),
-		limiter: newRateLimiter(cfg.RatePerSec, cfg.RateBurst),
+		limiter: newRateLimiter(cfg.RatePerSec, cfg.RateBurst, met.rejected.With("rate")),
 		forward: cfg.Forwarder,
+		reg:     reg,
+		met:     met,
+		rec:     telemetry.NewRecorder(node, telemetry.DefaultSpanCapacity),
+		logger:  cfg.Logger,
 		baseCtx: ctx,
 		stop:    cancel,
 		jobs:    make(map[string]*Job),
 		byKey:   make(map[uint64]*Job),
 		queue:   make(chan *Job, cfg.QueueDepth),
 	}
+	m.registerSamplers()
 	m.runSweep = m.executeSweep
 	for w := 0; w < cfg.Workers; w++ {
 		m.wg.Add(1)
@@ -488,33 +532,48 @@ func (m *Manager) SubmitOpts(req SweepRequest, opts SubmitOptions) (job *Job, co
 		return nil, false, false, errShutdown
 	}
 	if m.draining {
+		m.met.rejected.With("draining").Inc()
 		return nil, false, false, ErrDraining
 	}
 	// Coalesce onto the live (or done) job for this key. Failed and
 	// cancelled jobs are not coalescing targets — a resubmission retries.
 	if j, ok := m.byKey[key]; ok {
 		if st := j.State(); !st.terminal() || st == StateDone {
+			outcome := "coalesced"
 			if st == StateDone {
 				// Served without recomputation: count the hit and keep
 				// the payload warm in the LRU.
 				m.cache.Touch(key, j.Payload())
+				outcome = "cache_hit"
 			}
+			m.submitted(opts.TraceID, j, outcome)
 			return j, true, st == StateDone, nil
 		}
 	}
 	// Evicted job but retained payload: answer from the LRU with a
 	// pre-completed job, no queueing, no recomputation.
-	if payload, ok := m.cache.Get(key); ok {
+	if payload, tier, ok := m.cache.getTier(key); ok {
 		j := m.newJobLocked(key, req, nil)
+		j.trace = opts.TraceID
 		j.state = StateDone
 		j.payload = payload
 		j.events = []Event{{Type: string(StateDone)}}
+		if opts.TraceID != "" {
+			m.rec.Record(opts.TraceID, "cache.lookup", map[string]string{
+				"tier": tier, "key": formatKey(key),
+			})
+		}
+		m.submitted(opts.TraceID, j, "cache_hit")
 		return j, false, true, nil
 	}
 
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j := m.newJobLocked(key, req, cancel)
-	j.runCtx = ctx
+	j.trace = opts.TraceID
+	// The run context carries the trace and this node's recorder, so
+	// every layer under the sweep — fleet forward, enum-store lookup —
+	// can attach spans to the submission's trace.
+	j.runCtx = telemetry.WithRecorder(telemetry.WithTrace(ctx, opts.TraceID), m.rec)
 	j.noForward = opts.NoForward
 	select {
 	case m.queue <- j:
@@ -524,9 +583,23 @@ func (m *Manager) SubmitOpts(req SweepRequest, opts SubmitOptions) (job *Job, co
 		delete(m.jobs, j.ID)
 		delete(m.byKey, key)
 		m.order = m.order[:len(m.order)-1]
+		m.met.rejected.With("queue_full").Inc()
 		return nil, false, false, ErrQueueFull
 	}
+	m.submitted(opts.TraceID, j, "accepted")
 	return j, false, false, nil
+}
+
+// submitted records one resolved submission: the outcome counter,
+// plus a job.submit span for traced submissions.
+func (m *Manager) submitted(trace string, j *Job, outcome string) {
+	m.met.submitted.With(outcome).Inc()
+	if trace == "" {
+		return
+	}
+	m.rec.Record(trace, "job.submit", map[string]string{
+		"outcome": outcome, "job": j.ID, "key": formatKey(j.Key),
+	})
 }
 
 // newJobLocked allocates and registers a job (m.mu held).
@@ -607,8 +680,10 @@ func (m *Manager) Cancel(id string) (*Job, bool) {
 	return j, true
 }
 
-// Runs returns the number of sweeps actually executed.
-func (m *Manager) Runs() uint64 { return m.runs.Load() }
+// Runs returns the number of sweeps actually executed (cache hits and
+// coalesced submissions excluded) — read from the same counter
+// /metrics renders as hbmvolt_sweep_runs_total.
+func (m *Manager) Runs() uint64 { return m.met.sweepRuns.Value() }
 
 // Cached returns the byte-stable payload for a cache key if any tier
 // retains it, without scheduling work — the campaign resume path's
@@ -684,7 +759,7 @@ func (m *Manager) Stats() Stats {
 	}
 	m.mu.Unlock()
 	st := Stats{
-		SweepRuns:         m.runs.Load(),
+		SweepRuns:         m.met.sweepRuns.Value(),
 		CacheEntries:      m.cache.Len(),
 		CacheBytes:        m.cache.Bytes(),
 		Workers:           m.cfg.Workers,
@@ -743,7 +818,7 @@ func (m *Manager) runJob(j *Job) {
 	defer j.cancel()
 	start := time.Now()
 	local := func(ctx context.Context) ([]byte, error) {
-		m.runs.Add(1)
+		m.met.sweepRuns.Inc()
 		return m.runSweep(ctx, j)
 	}
 	var payload []byte
@@ -758,24 +833,60 @@ func (m *Manager) runJob(j *Job) {
 			j.setServeInfo(ServeInfo{ServedBy: m.forward.Self()})
 		}
 	}
-	m.latency.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	m.latency.Observe(elapsed)
+	m.met.jobSeconds.Observe(elapsed.Seconds())
+	var final JobState
 	switch {
 	case err == nil:
 		m.cache.Put(j.Key, payload)
 		j.finish(StateDone, payload, "")
+		final = StateDone
+		m.met.payloadBytes.Observe(float64(len(payload)))
 	case errors.Is(err, context.Canceled) || j.runCtx.Err() != nil:
 		// A cancelled manager context (shutdown) lands here too.
 		j.finish(StateCancelled, nil, "")
+		final = StateCancelled
 	default:
 		j.finish(StateFailed, nil, err.Error())
+		final = StateFailed
+		m.logger.WithTrace(j.runCtx).Warn("job failed",
+			tlog.F("job", j.ID), tlog.F("kind", j.Req.Kind),
+			tlog.F("key", formatKey(j.Key)), tlog.Err(err))
+	}
+	m.met.completed.With(string(final)).Inc()
+	if j.trace != "" {
+		info := j.ServeInfo()
+		m.rec.RecordSpan(telemetry.Span{
+			Trace: j.trace, Name: "job.run",
+			Attrs: map[string]string{
+				"job": j.ID, "state": string(final),
+				"served_by": info.ServedBy,
+				"degraded":  strconv.FormatBool(info.Degraded),
+			},
+			Time: start, Duration: elapsed,
+		})
 	}
 }
 
-// executeSweep is the real sweep path: build the request's board (or,
-// for the analytic kinds, its full-capacity fault model), run the
-// configured study through internal/core with progress events, and
-// marshal the deterministic payload.
-func (m *Manager) executeSweep(ctx context.Context, j *Job) ([]byte, error) {
+// executeSweep is the real sweep path, labeled for profilers: every
+// sample taken under it carries the request kind and enumeration mode,
+// so a CPU or mutex profile of a busy daemon splits by workload.
+func (m *Manager) executeSweep(ctx context.Context, j *Job) (payload []byte, err error) {
+	pprof.Do(ctx, pprof.Labels(
+		"hbmvolt_kind", j.Req.Kind,
+		"hbmvolt_shared", strconv.FormatBool(j.Req.Shared),
+	), func(ctx context.Context) {
+		payload, err = m.sweepPayload(ctx, j)
+	})
+	return payload, err
+}
+
+// sweepPayload builds the request's board (or, for the analytic kinds,
+// its full-capacity fault model), runs the configured study through
+// internal/core with progress events, and marshals the deterministic
+// payload.
+func (m *Manager) sweepPayload(ctx context.Context, j *Job) ([]byte, error) {
 	req := j.Req
 	onPoint := func(p core.SweepProgress) {
 		j.appendEvent(Event{Type: "progress", SweepProgress: p})

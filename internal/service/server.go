@@ -13,6 +13,7 @@ import (
 
 	"hbmvolt/internal/chaos"
 	"hbmvolt/internal/report"
+	"hbmvolt/internal/telemetry"
 )
 
 // Server is the HTTP face of a Manager. It implements http.Handler; use
@@ -47,6 +48,8 @@ func newServer(mgr *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", mgr.Metrics().Handler())
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTrace)
 	return s
 }
 
@@ -108,9 +111,12 @@ const (
 	HeaderPayloadSHA = "X-Hbmvolt-Payload-Sha256"
 )
 
-// serveHeaders stamps the fleet serving record onto a job-scoped
-// response (no-ops outside fleet mode).
+// serveHeaders stamps the fleet serving record and trace ID onto a
+// job-scoped response (serving record no-ops outside fleet mode).
 func serveHeaders(w http.ResponseWriter, j *Job) {
+	if t := j.Trace(); t != "" {
+		w.Header().Set(telemetry.HeaderTraceID, t)
+	}
 	info := j.ServeInfo()
 	if info.ServedBy == "" {
 		return
@@ -205,7 +211,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// matter who the local router believes owns it: two nodes with
 	// disagreeing peer lists must degrade to an extra local compute,
 	// never bounce a request between each other.
-	opts := SubmitOptions{NoForward: r.Header.Get(HeaderNoForward) != ""}
+	//
+	// Every submission gets a trace: a valid client- or peer-supplied
+	// X-Hbmvolt-Trace-Id is adopted (one trace spans the whole fleet
+	// path), anything else is replaced by a freshly minted ID. The ID is
+	// echoed on the response so the client learns it either way.
+	trace := r.Header.Get(telemetry.HeaderTraceID)
+	if !telemetry.ValidTraceID(trace) {
+		trace = telemetry.NewTraceID()
+	}
+	w.Header().Set(telemetry.HeaderTraceID, trace)
+	opts := SubmitOptions{
+		NoForward: r.Header.Get(HeaderNoForward) != "",
+		TraceID:   trace,
+	}
 	j, coalesced, cacheHit, err := s.mgr.SubmitOpts(req, opts)
 	if err != nil {
 		var reqErr *RequestError
@@ -351,4 +370,24 @@ type Health struct {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	WriteJSON(w, http.StatusOK, Health{Status: "ok", Stats: s.mgr.Stats()})
+}
+
+// traceBody is the GET /v1/traces/{id} response: every span this node
+// retains for the trace, oldest first.
+type traceBody struct {
+	Trace string           `json:"trace"`
+	Spans []telemetry.Span `json:"spans"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !telemetry.ValidTraceID(id) {
+		WriteError(w, http.StatusBadRequest, "malformed trace id %q", id)
+		return
+	}
+	spans := s.mgr.Recorder().ForTrace(id)
+	if spans == nil {
+		spans = []telemetry.Span{}
+	}
+	WriteJSON(w, http.StatusOK, traceBody{Trace: id, Spans: spans})
 }

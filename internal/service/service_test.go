@@ -537,7 +537,7 @@ func asAPIError(err error, target **APIError) bool {
 }
 
 func TestCacheLRUEviction(t *testing.T) {
-	cch := newResultCache(NewMemoryTier(2, 1<<20))
+	cch := newResultCache(nil, NewMemoryTier(2, 1<<20))
 	cch.Put(1, []byte("a"))
 	cch.Put(2, []byte("b"))
 	if _, ok := cch.Get(1); !ok { // refresh 1; 2 is now LRU
@@ -560,7 +560,7 @@ func TestCacheLRUEviction(t *testing.T) {
 // eviction pressure per byte as sweep payloads, and the byte counter
 // always equals the sum of retained payload sizes.
 func TestCacheByteAccounting(t *testing.T) {
-	cch := newResultCache(NewMemoryTier(100, 100))
+	cch := newResultCache(nil, NewMemoryTier(100, 100))
 	cch.Put(1, make([]byte, 40)) // a "sweep" payload
 	cch.Put(2, make([]byte, 40)) // another
 	if got := cch.Bytes(); got != 80 {

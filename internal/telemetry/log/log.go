@@ -1,0 +1,202 @@
+// Package log is the repo's structured leveled logger: one JSON
+// object per line, deterministic field ordering (ts, level, msg,
+// bound fields, then call-site fields) so tests can assert on fields
+// instead of grepping substrings. Import it aliased as tlog.
+//
+// A nil *Logger is a valid no-op sink: library code can log
+// unconditionally and let the owner decide whether a logger exists.
+package log
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hbmvolt/internal/telemetry"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the level's lowercase name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel parses a level name (case-insensitive).
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return LevelDebug, nil
+	case "info":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("log: unknown level %q (want debug|info|warn|error)", s)
+}
+
+// Field is one key/value pair on a log line.
+type Field struct {
+	Key   string
+	Value any
+}
+
+// F builds a Field.
+func F(key string, value any) Field { return Field{Key: key, Value: value} }
+
+// Err builds the conventional error field; a nil error yields "".
+func Err(err error) Field {
+	if err == nil {
+		return Field{Key: "err", Value: ""}
+	}
+	return Field{Key: "err", Value: err.Error()}
+}
+
+// sink is the shared write end: all Loggers derived from one New call
+// serialize through the same mutex and level gate.
+type sink struct {
+	mu    sync.Mutex
+	w     io.Writer
+	level atomic.Int32
+	now   func() time.Time // injectable for tests
+}
+
+// Logger emits structured lines at or above its sink's level. Derive
+// scoped loggers with With/WithTrace; they share the sink.
+type Logger struct {
+	s      *sink
+	fields []Field
+}
+
+// New builds a logger writing JSON lines to w at the given level.
+func New(w io.Writer, level Level) *Logger {
+	s := &sink{w: w, now: time.Now}
+	s.level.Store(int32(level))
+	return &Logger{s: s}
+}
+
+// SetLevel changes the level for this logger and everything sharing
+// its sink.
+func (l *Logger) SetLevel(level Level) {
+	if l == nil {
+		return
+	}
+	l.s.level.Store(int32(level))
+}
+
+// Enabled reports whether lines at level would be written.
+func (l *Logger) Enabled(level Level) bool {
+	return l != nil && int32(level) >= l.s.level.Load()
+}
+
+// With returns a logger that stamps the given fields on every line,
+// after any already-bound fields.
+func (l *Logger) With(fields ...Field) *Logger {
+	if l == nil || len(fields) == 0 {
+		return l
+	}
+	bound := make([]Field, 0, len(l.fields)+len(fields))
+	bound = append(bound, l.fields...)
+	bound = append(bound, fields...)
+	return &Logger{s: l.s, fields: bound}
+}
+
+// WithTrace binds the context's trace ID (field "trace") when one is
+// present, so every line of a request-scoped logger carries it.
+func (l *Logger) WithTrace(ctx context.Context) *Logger {
+	if l == nil {
+		return nil
+	}
+	if id := telemetry.TraceOf(ctx); id != "" {
+		return l.With(F("trace", id))
+	}
+	return l
+}
+
+// Debug logs at debug level.
+func (l *Logger) Debug(msg string, fields ...Field) { l.log(LevelDebug, msg, fields) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, fields ...Field) { l.log(LevelInfo, msg, fields) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, fields ...Field) { l.log(LevelWarn, msg, fields) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, fields ...Field) { l.log(LevelError, msg, fields) }
+
+// Printf is a compatibility adapter for func(string, ...any) log
+// hooks: the formatted message becomes an info-level structured line.
+func (l *Logger) Printf(format string, args ...any) {
+	l.log(LevelInfo, fmt.Sprintf(format, args...), nil)
+}
+
+// log renders one line. Field order is fixed: ts, level, msg, bound
+// fields, call fields — duplicate keys are emitted as given (last one
+// wins in most JSON decoders), keeping rendering allocation-light and
+// deterministic.
+func (l *Logger) log(level Level, msg string, fields []Field) {
+	if !l.Enabled(level) {
+		return
+	}
+	var b bytes.Buffer
+	b.WriteString(`{"ts":`)
+	writeJSON(&b, l.s.now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(`,"level":`)
+	writeJSON(&b, level.String())
+	b.WriteString(`,"msg":`)
+	writeJSON(&b, msg)
+	for _, f := range l.fields {
+		writeField(&b, f)
+	}
+	for _, f := range fields {
+		writeField(&b, f)
+	}
+	b.WriteString("}\n")
+
+	l.s.mu.Lock()
+	defer l.s.mu.Unlock()
+	l.s.w.Write(b.Bytes())
+}
+
+func writeField(b *bytes.Buffer, f Field) {
+	b.WriteByte(',')
+	writeJSON(b, f.Key)
+	b.WriteByte(':')
+	writeJSON(b, f.Value)
+}
+
+func writeJSON(b *bytes.Buffer, v any) {
+	enc, err := json.Marshal(v)
+	if err != nil {
+		enc, _ = json.Marshal(fmt.Sprint(v))
+	}
+	b.Write(enc)
+}

@@ -1,0 +1,141 @@
+package log
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hbmvolt/internal/telemetry"
+)
+
+// decodeLines parses one JSON object per line.
+func decodeLines(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %q is not JSON: %v", line, err)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func TestLevelsAndFields(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	l.s.now = func() time.Time { return time.Unix(1700000000, 0) }
+
+	l.Debug("hidden")
+	l.Info("served", F("job", "j1"), F("bytes", 512))
+	l.Warn("degraded", Err(errors.New("owner down")))
+	l.Error("boom", Err(nil))
+
+	lines := decodeLines(t, &buf)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (debug filtered)", len(lines))
+	}
+	if lines[0]["level"] != "info" || lines[0]["msg"] != "served" ||
+		lines[0]["job"] != "j1" || lines[0]["bytes"] != float64(512) {
+		t.Fatalf("info line = %v", lines[0])
+	}
+	if lines[1]["level"] != "warn" || lines[1]["err"] != "owner down" {
+		t.Fatalf("warn line = %v", lines[1])
+	}
+	if lines[2]["err"] != "" {
+		t.Fatalf("nil error must render empty err, got %v", lines[2])
+	}
+	if ts, ok := lines[0]["ts"].(string); !ok || ts == "" {
+		t.Fatalf("missing ts: %v", lines[0])
+	}
+}
+
+// TestFieldOrdering pins the deterministic rendering: ts, level, msg,
+// bound fields, then call-site fields, byte for byte.
+func TestFieldOrdering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelDebug)
+	l.s.now = func() time.Time { return time.Unix(0, 0) }
+	l.With(F("node", "n1")).Info("m", F("a", 1))
+	want := `{"ts":"1970-01-01T00:00:00Z","level":"info","msg":"m","node":"n1","a":1}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+func TestWithTraceAndNil(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelDebug)
+	ctx := telemetry.WithTrace(context.Background(), "trace-9")
+	l.WithTrace(ctx).Info("traced")
+	l.WithTrace(context.Background()).Info("untraced")
+
+	lines := decodeLines(t, &buf)
+	if lines[0]["trace"] != "trace-9" {
+		t.Fatalf("traced line = %v", lines[0])
+	}
+	if _, ok := lines[1]["trace"]; ok {
+		t.Fatalf("untraced line must not carry trace: %v", lines[1])
+	}
+
+	var nilLogger *Logger
+	nilLogger.Info("dropped", F("k", "v")) // must not panic
+	nilLogger.With(F("a", 1)).Warn("dropped")
+	nilLogger.WithTrace(ctx).Error("dropped")
+	nilLogger.SetLevel(LevelError)
+	nilLogger.Printf("dropped %d", 1)
+}
+
+func TestPrintfAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	l.Printf("recovered %d entries (%d bytes)", 3, 4096)
+	lines := decodeLines(t, &buf)
+	if lines[0]["msg"] != "recovered 3 entries (4096 bytes)" || lines[0]["level"] != "info" {
+		t.Fatalf("printf line = %v", lines[0])
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "INFO": LevelInfo, "Warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, " info ": LevelInfo,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel(loud) must error")
+	}
+}
+
+func TestConcurrentLogging(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, LevelInfo)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scoped := l.With(F("worker", w))
+			for i := 0; i < 100; i++ {
+				scoped.Info("tick", F("i", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if lines := decodeLines(t, &buf); len(lines) != 800 {
+		t.Fatalf("got %d intact lines, want 800", len(lines))
+	}
+}
