@@ -1,0 +1,46 @@
+// Command claimcheck is the claims-ledger doc-lint: it checks that
+// docs/CLAIMS.md documents exactly the claim IDs registered in
+// internal/verify — no registered claim without a ledger section, no
+// ledger section documenting a claim that no longer exists. The CI
+// claims-gate job runs it before the verifier so documentation drift
+// fails as loudly as a refuted claim.
+//
+// Usage:
+//
+//	go run ./cmd/claimcheck [-ledger docs/CLAIMS.md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hbmvolt/internal/verify"
+)
+
+var flagLedger = flag.String("ledger", "docs/CLAIMS.md", "path of the claims ledger to check")
+
+func main() {
+	flag.Parse()
+	data, err := os.ReadFile(*flagLedger)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "claimcheck: %v\n", err)
+		os.Exit(1)
+	}
+	ids, err := verify.ParseLedger(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "claimcheck: %v\n", err)
+		os.Exit(1)
+	}
+	missing, stale := verify.CheckLedger(ids)
+	for _, id := range missing {
+		fmt.Fprintf(os.Stderr, "claimcheck: registered claim %q has no section in %s\n", id, *flagLedger)
+	}
+	for _, id := range stale {
+		fmt.Fprintf(os.Stderr, "claimcheck: %s documents %q, which is not a registered claim\n", *flagLedger, id)
+	}
+	if len(missing) > 0 || len(stale) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("claimcheck: %s in sync with %d registered claims\n", *flagLedger, len(ids))
+}

@@ -32,6 +32,12 @@
 //	            durable cache, and the finished manifest is
 //	            byte-identical to an uninterrupted run's; -metrics
 //	            dumps the run's telemetry registry as Prometheus text)
+//	verify      run the built-in paper-repro campaign and validate every
+//	            registered paper claim against its tolerance band
+//	            (-smoke for the fast profile; -out names the report
+//	            directory, default verify-out; writes FINDINGS.md and
+//	            verdicts.json; exits non-zero when any claim is REFUTED
+//	            or cannot be evaluated — see docs/CLAIMS.md)
 package main
 
 import (
@@ -46,6 +52,7 @@ import (
 	"hbmvolt"
 	"hbmvolt/internal/report"
 	"hbmvolt/internal/telemetry"
+	"hbmvolt/internal/verify"
 )
 
 var (
@@ -125,7 +132,7 @@ func validateFlags() error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hbmvolt [flags] <fig2|fig3|fig4|fig5|fig6|ecc|temp|capacity|bandwidth|guardband|reliability|tradeoff|info|all|campaign>\n\n")
+	fmt.Fprintf(os.Stderr, "usage: hbmvolt [flags] <fig2|fig3|fig4|fig5|fig6|ecc|temp|capacity|bandwidth|guardband|reliability|tradeoff|info|all|campaign|verify>\n\n")
 	flag.PrintDefaults()
 }
 
@@ -142,6 +149,10 @@ func run(cmd string) error {
 	if cmd == "campaign" {
 		// Campaigns build their own boards per cell; no ambient System.
 		return runCampaign()
+	}
+	if cmd == "verify" {
+		// The claim verifier runs its own campaign; no ambient System.
+		return runVerify()
 	}
 	sys, err := newSystem()
 	if err != nil {
@@ -275,6 +286,76 @@ func runCampaign() error {
 	}
 	if *flagRender {
 		return hbmvolt.RenderCampaignResult(os.Stdout, res)
+	}
+	return nil
+}
+
+// runVerify executes the verify subcommand: run the built-in
+// paper-repro campaign through the engine, evaluate every registered
+// claim, write FINDINGS.md + verdicts.json into the report directory,
+// print the verdict summary, and fail (non-zero exit) when any claim is
+// not CONFIRMED.
+func runVerify() error {
+	outDir := *flagOut
+	if outDir == "" {
+		outDir = "verify-out"
+	}
+	rep, err := verify.Run(context.Background(), verify.Options{
+		Smoke:  *flagSmoke,
+		Jobs:   *flagJobs,
+		Fleet:  *flagJ,
+		Shared: *flagShared,
+		OnCell: func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rverify: %d/%d cells   ", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	blob, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	verdictsPath := outDir + "/verdicts.json"
+	if err := os.WriteFile(verdictsPath, blob, 0o644); err != nil {
+		return err
+	}
+	findingsPath := outDir + "/FINDINGS.md"
+	f, err := os.Create(findingsPath)
+	if err != nil {
+		return err
+	}
+	werr := verify.WriteFindings(f, rep)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return werr
+	}
+
+	tbl := report.NewTable("claim", "citation", "status", "checks")
+	for _, v := range rep.Verdicts {
+		passed := 0
+		for _, c := range v.Checks {
+			if c.Pass {
+				passed++
+			}
+		}
+		tbl.AddRow(v.Claim, v.Citation, v.Status, fmt.Sprintf("%d/%d", passed, len(v.Checks)))
+	}
+	if _, err := tbl.WriteTo(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("claims: %d confirmed, %d refuted, %d errored\n", rep.Confirmed, rep.Refuted, rep.Errored)
+	fmt.Printf("wrote %s and %s\n", verdictsPath, findingsPath)
+	if rep.Failed() {
+		return fmt.Errorf("%d of %d claims not confirmed (see %s)", rep.Refuted+rep.Errored, rep.Claims, findingsPath)
 	}
 	return nil
 }

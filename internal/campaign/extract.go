@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"bytes"
+	"fmt"
+
+	"hbmvolt/internal/service"
+)
+
+// CellEnvelope pairs one decoded result envelope with its provenance
+// inside the campaign — which scenario produced it and at which cell
+// index. The envelope's Kind mirrors the scenario kind.
+type CellEnvelope struct {
+	Scenario string
+	Index    int
+	Envelope *service.Envelope
+}
+
+// Envelopes decodes every cell payload of a completed campaign into its
+// typed service envelope, strictly in campaign (spec) order. This is
+// the extraction hook downstream consumers — the claim verifier, report
+// generators — use to get at typed results without re-parsing NDJSON
+// artifacts themselves.
+func (r *Result) Envelopes() ([]CellEnvelope, error) {
+	var out []CellEnvelope
+	for _, sr := range r.Scenarios {
+		for _, cr := range sr.Cells {
+			env, err := service.DecodeResult(cr.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("campaign %s: scenario %q cell %d: %w",
+					r.Spec.Name, sr.Name, cr.Cell.Index, err)
+			}
+			out = append(out, CellEnvelope{Scenario: sr.Name, Index: cr.Cell.Index, Envelope: env})
+		}
+	}
+	return out, nil
+}
+
+// EnvelopesByKind decodes the campaign's payloads and keeps only the
+// envelopes of one sweep kind (service.KindReliability, KindPower,
+// KindFaultMap or KindECCStudy), in campaign order.
+func (r *Result) EnvelopesByKind(kind string) ([]CellEnvelope, error) {
+	all, err := r.Envelopes()
+	if err != nil {
+		return nil, err
+	}
+	var out []CellEnvelope
+	for _, ce := range all {
+		if ce.Envelope.Kind == kind {
+			out = append(out, ce)
+		}
+	}
+	return out, nil
+}
+
+// DecodeArtifact parses one scenario's NDJSON artifact (the files
+// WriteArtifacts emits: one result-envelope line per cell) back into
+// typed envelopes. It is the file-shaped counterpart of
+// (*Result).Envelopes, for consumers that work from committed artifacts
+// rather than a live run.
+func DecodeArtifact(data []byte) ([]*service.Envelope, error) {
+	var out []*service.Envelope
+	for i, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		env, err := service.DecodeResult(line)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: artifact line %d: %w", i+1, err)
+		}
+		out = append(out, env)
+	}
+	return out, nil
+}

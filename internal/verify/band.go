@@ -1,0 +1,99 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+)
+
+// Band is an inclusive tolerance interval. A check whose observed value
+// lands exactly on either boundary passes: bands state how far a value
+// may drift, and "exactly N% off" is still within N%.
+type Band struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// Contains reports whether x lies inside the band (boundaries
+// included). NaN never passes — a computation that produced no number
+// cannot confirm a claim.
+func (b Band) Contains(x float64) bool {
+	return !math.IsNaN(x) && x >= b.Lo && x <= b.Hi
+}
+
+// PercentBand builds the band center ± pct percent of center.
+func PercentBand(center, pct float64) Band {
+	d := math.Abs(center) * pct / 100
+	return Band{Lo: center - d, Hi: center + d}
+}
+
+// Exactly builds the degenerate band [v, v]: the observed value must
+// match v (integer-valued extractions such as PC counts).
+func Exactly(v float64) Band { return Band{Lo: v, Hi: v} }
+
+// Check is one measured quantity of a claim: the observed value, the
+// band it must land in, and the verdict.
+type Check struct {
+	Name     string  `json:"name"`
+	Observed float64 `json:"observed"`
+	Band     Band    `json:"band"`
+	Pass     bool    `json:"pass"`
+	// Note carries extraction context (units, window) for the findings
+	// report; it never affects the verdict.
+	Note string `json:"note,omitempty"`
+}
+
+// check evaluates observed against band.
+func check(name string, observed float64, band Band) Check {
+	return Check{Name: name, Observed: observed, Band: band, Pass: band.Contains(observed)}
+}
+
+func (c Check) withNote(note string) Check {
+	c.Note = note
+	return c
+}
+
+// EvalError is the typed failure of a claim extractor: the evidence was
+// present but unusable (too few points, a zero denominator, a NaN
+// input). Extractors return it instead of panicking, and the runner
+// renders it as an ERROR verdict — which fails the gate, because a
+// claim that cannot be evaluated is not confirmed.
+type EvalError struct {
+	// Reason describes what made the input unusable.
+	Reason string
+}
+
+func (e *EvalError) Error() string { return "verify: " + e.Reason }
+
+func evalErrf(format string, args ...any) *EvalError {
+	return &EvalError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// MAPE returns the mean absolute percentage error of observed against
+// truth, in percent. Length mismatches, empty inputs, non-finite values
+// and zero ground-truth denominators are reported as a *EvalError, never
+// a panic or a silent Inf/NaN: callers that need to compare against a
+// curve with zero-valued points must filter those points into a
+// separate absolute check first.
+func MAPE(observed, truth []float64) (float64, error) {
+	if len(observed) != len(truth) {
+		return 0, evalErrf("MAPE: length mismatch: %d observed vs %d truth", len(observed), len(truth))
+	}
+	if len(observed) == 0 {
+		return 0, evalErrf("MAPE: no points")
+	}
+	sum := 0.0
+	for i := range observed {
+		o, t := observed[i], truth[i]
+		if math.IsNaN(o) || math.IsInf(o, 0) {
+			return 0, evalErrf("MAPE: observed[%d] is not finite", i)
+		}
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return 0, evalErrf("MAPE: truth[%d] is not finite", i)
+		}
+		if t == 0 {
+			return 0, evalErrf("MAPE: truth[%d] is zero (zero denominator)", i)
+		}
+		sum += math.Abs(o-t) / math.Abs(t)
+	}
+	return 100 * sum / float64(len(observed)), nil
+}

@@ -1,0 +1,68 @@
+package verify
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"sort"
+)
+
+// ledgerHeading matches a CLAIMS.md claim section heading: a level-2
+// heading whose last inline-code span is the claim ID, e.g.
+//
+//	## Deep undervolting saves ~2.3x — `power-savings-deep-undervolt`
+var ledgerHeading = regexp.MustCompile("^## .*`([a-z][a-z0-9-]*)`\\s*$")
+
+// ParseLedger extracts the claim IDs documented in a CLAIMS.md ledger,
+// in document order. Duplicate IDs are an error — each claim gets
+// exactly one ledger section.
+func ParseLedger(data []byte) ([]string, error) {
+	var ids []string
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		m := ledgerHeading.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		if seen[m[1]] {
+			return nil, fmt.Errorf("verify: ledger line %d: duplicate claim section %q", line, m[1])
+		}
+		seen[m[1]] = true
+		ids = append(ids, m[1])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("verify: scanning ledger: %w", err)
+	}
+	return ids, nil
+}
+
+// CheckLedger compares documented ledger IDs against the registered
+// claim IDs, both directions: a registered claim missing from the
+// ledger and a ledger section documenting no registered claim are both
+// drift. Returned slices are sorted; both empty means in sync.
+func CheckLedger(ledgerIDs []string) (missing, stale []string) {
+	reg := map[string]bool{}
+	for _, id := range RegisteredIDs() {
+		reg[id] = true
+	}
+	doc := map[string]bool{}
+	for _, id := range ledgerIDs {
+		doc[id] = true
+		if !reg[id] {
+			stale = append(stale, id)
+		}
+	}
+	for id := range reg {
+		if !doc[id] {
+			missing = append(missing, id)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(stale)
+	return missing, stale
+}

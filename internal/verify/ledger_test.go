@@ -1,0 +1,75 @@
+package verify
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLedger(t *testing.T) {
+	doc := strings.Join([]string{
+		"# Claims ledger",
+		"",
+		"intro text with `inline-code` that is not a heading",
+		"## Deep undervolting saves power — `power-savings-deep-undervolt`",
+		"body",
+		"### a sub-heading with `code` is not a claim section",
+		"## The guardband ends at 0.98 V — `guardband-vmin`",
+	}, "\n")
+	ids, err := ParseLedger([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"power-savings-deep-undervolt", "guardband-vmin"}
+	if len(ids) != len(want) {
+		t.Fatalf("ParseLedger = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ParseLedger = %v, want %v", ids, want)
+		}
+	}
+
+	dup := doc + "\n## again — `guardband-vmin`\n"
+	if _, err := ParseLedger([]byte(dup)); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate section: got err %v, want duplicate error", err)
+	}
+}
+
+func TestCheckLedgerBothDirections(t *testing.T) {
+	ids := RegisteredIDs()
+	if missing, stale := CheckLedger(ids); len(missing) != 0 || len(stale) != 0 {
+		t.Fatalf("exact registry must be in sync: missing %v stale %v", missing, stale)
+	}
+	// Drop one and add a phantom: both directions must be reported.
+	drifted := append([]string{"phantom-claim"}, ids[1:]...)
+	missing, stale := CheckLedger(drifted)
+	if len(missing) != 1 || missing[0] != ids[0] {
+		t.Errorf("missing = %v, want [%s]", missing, ids[0])
+	}
+	if len(stale) != 1 || stale[0] != "phantom-claim" {
+		t.Errorf("stale = %v, want [phantom-claim]", stale)
+	}
+}
+
+// TestClaimsLedgerInSync is the doc-lint: docs/CLAIMS.md must document
+// exactly the registered claim IDs (cmd/claimcheck runs the same check
+// from the CI claims-gate job).
+func TestClaimsLedgerInSync(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "docs", "CLAIMS.md"))
+	if err != nil {
+		t.Fatalf("reading claims ledger: %v", err)
+	}
+	ids, err := ParseLedger(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing, stale := CheckLedger(ids)
+	if len(missing) != 0 {
+		t.Errorf("registered claims missing a docs/CLAIMS.md section: %v", missing)
+	}
+	if len(stale) != 0 {
+		t.Errorf("docs/CLAIMS.md documents unregistered claims: %v", stale)
+	}
+}
