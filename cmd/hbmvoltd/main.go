@@ -24,13 +24,21 @@
 //	DELETE /v1/campaigns/{id}     cancel remaining cells
 //
 // Fleet mode (see README "Fleet" and internal/fleet): -self + -peers
-// join N daemons into one logical cache. Each sweep's cache key is
-// rendezvous-hashed to exactly one owner node; non-owners forward and
-// the fleet computes each unique sweep once. A dead, slow, or
-// partitioned owner degrades to local compute — byte-identical by the
-// determinism contract — gated by a per-peer circuit breaker fed by an
-// active health prober (-probe-interval) and forward failures, with
-// every call under the -forward-timeout hedging deadline.
+// (or -self + -join against live seeds) join N daemons into one
+// logical cache. Each sweep's cache key is rendezvous-hashed to
+// exactly one owner node; non-owners forward and the fleet computes
+// each unique sweep once. Membership is dynamic: nodes join and leave
+// at runtime through the admin API (POST/DELETE /v1/fleet/peers)
+// behind a versioned copy-on-write view, moving only ~1/N of keys per
+// change. A slow owner is raced against the second-choice owner after
+// the -hedge-delay; a dead, slow, or partitioned owner degrades to
+// local compute — byte-identical by the determinism contract — gated
+// by a per-peer circuit breaker fed by an active health prober
+// (-probe-interval) and forward failures, with every call under the
+// -forward-timeout deadline. Successfully forwarded payloads are
+// written through to the local durable tier within
+// -replica-budget-bytes, so an owner's death serves its hot keys from
+// local disk instead of recomputing.
 //
 // Resilience (see README "Resilience"):
 //
@@ -115,10 +123,13 @@ var (
 	flagMutexFrac = flag.Int("mutex-profile-fraction", 5, "with -pprof: sample 1/n of mutex contention events (0 = off)")
 	flagBlockRate = flag.Int("block-profile-rate", 10000, "with -pprof: sample blocking events lasting >= this many nanoseconds (0 = off)")
 
-	flagSelf       = flag.String("self", "", "fleet mode: this node's advertised base URL, e.g. http://10.0.0.1:8023 (requires -peers)")
+	flagSelf       = flag.String("self", "", "fleet mode: this node's advertised base URL, e.g. http://10.0.0.1:8023 (requires -peers or -join)")
 	flagPeers      = flag.String("peers", "", "fleet mode: comma-separated peer base URLs; every node should get the identical list (own URL included is fine)")
+	flagJoin       = flag.String("join", "", "fleet mode: comma-separated seed URLs to announce this node to at startup via the membership admin API; the seeds' node set is adopted, so a new node needs no -peers and the fleet needs no restarts")
 	flagFwdTimeout = flag.Duration("forward-timeout", 2*time.Second, "fleet mode: hedging deadline per forwarded HTTP call; an owner slower than this degrades to local compute")
-	flagProbe      = flag.Duration("probe-interval", time.Second, "fleet mode: active health-check period per peer (0 = passive failure detection only)")
+	flagProbe      = flag.Duration("probe-interval", time.Second, "fleet mode: active health-check period per peer, jittered ±10% (0 = passive failure detection only)")
+	flagHedge      = flag.Duration("hedge-delay", 0, "fleet mode: how long a forward may run before the second-choice owner is raced (0 = adaptive p95 of observed forward latencies, floored at 50ms; negative = never race, fail over only on primary failure)")
+	flagRepBudget  = flag.Int64("replica-budget-bytes", 1<<30, "fleet mode: byte budget for writing forwarded payloads through to the local durable cache tier, so an owner's death serves its hot keys from local disk (negative = no replication)")
 	flagTrustProxy = flag.Bool("trust-proxy", false, "trust X-Forwarded-For for per-client admission buckets (only behind a proxy that overwrites it; the header is spoofable otherwise)")
 )
 
@@ -146,11 +157,16 @@ type options struct {
 	blockRate     int
 
 	// Fleet mode: self is this node's advertised URL, peers the other
-	// nodes'; empty self means standalone.
+	// nodes'; empty self means standalone. join lists seed nodes to
+	// announce self to at startup instead of (or in addition to) a
+	// static peer list.
 	self           string
 	peers          []string
+	join           []string
 	forwardTimeout time.Duration
 	probeInterval  time.Duration
+	hedgeDelay     time.Duration
+	replicaBudget  int64
 
 	trustProxy bool
 	// logger receives the daemon's structured JSON records; nil builds a
@@ -179,8 +195,11 @@ func optionsFromFlags() options {
 
 		self:           *flagSelf,
 		peers:          splitPeers(*flagPeers),
+		join:           splitPeers(*flagJoin),
 		forwardTimeout: *flagFwdTimeout,
 		probeInterval:  *flagProbe,
+		hedgeDelay:     *flagHedge,
+		replicaBudget:  *flagRepBudget,
 
 		trustProxy: *flagTrustProxy,
 	}
@@ -233,9 +252,12 @@ func (o options) validate() error {
 	if len(o.peers) > 0 && o.self == "" {
 		return errors.New("-peers needs -self (peers must know this node by one agreed URL)")
 	}
+	if len(o.join) > 0 && o.self == "" {
+		return errors.New("-join needs -self (seeds must learn this node by one agreed URL)")
+	}
 	if o.self != "" {
-		if len(o.peers) == 0 {
-			return errors.New("-self needs -peers (a fleet of one is just a daemon)")
+		if len(o.peers) == 0 && len(o.join) == 0 {
+			return errors.New("-self needs -peers or -join (a fleet of one is just a daemon)")
 		}
 		if o.forwardTimeout <= 0 {
 			return errors.New("-forward-timeout must be > 0")
@@ -280,6 +302,8 @@ func newDaemon(o options) (*daemon, error) {
 			Peers:          o.peers,
 			ForwardTimeout: o.forwardTimeout,
 			ProbeInterval:  o.probeInterval,
+			HedgeDelay:     o.hedgeDelay,
+			ReplicaBudget:  o.replicaBudget,
 			Logger:         o.logger,
 		})
 		if err != nil {
@@ -314,6 +338,11 @@ func newDaemon(o options) (*daemon, error) {
 	// sweeps coalesce in one queue and result cache.
 	mux := http.NewServeMux()
 	campaign.NewAPI(srv.Manager()).Register(mux)
+	// In fleet mode the membership admin API (join/leave at runtime)
+	// rides the same listener as the sweep API.
+	if fwd != nil {
+		mux.Handle("/v1/fleet/peers", fwd.AdminHandler())
+	}
 	mux.Handle("/", srv)
 
 	// Profiling routes are opt-in: the handlers are registered on this
@@ -375,6 +404,11 @@ func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
 			tlog.F("fleet", o.fleet), tlog.F("cache_dir", o.cacheDir))
 		errc <- d.http.Serve(ln)
 	}()
+	if d.fwd != nil && len(o.join) > 0 {
+		// Announce after the listener is up so seeds that immediately
+		// probe us find a live /healthz.
+		go d.joinFleet(ctx)
+	}
 
 	select {
 	case err := <-errc:
@@ -410,6 +444,31 @@ func (d *daemon) serve(ctx context.Context, ln net.Listener) error {
 	}
 	d.log.Info("drained cleanly")
 	return nil
+}
+
+// joinFleet announces this node to its -join seeds via the membership
+// admin API, adopting the seeds' node set from the responses. Seeds
+// may still be booting (a whole fleet often starts at once), so
+// announcements retry every 500ms for up to 30s before the daemon
+// settles for whatever -peers gave it.
+func (d *daemon) joinFleet(ctx context.Context) {
+	jctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	for {
+		n, err := d.fwd.Join(jctx, d.opts.join)
+		if err == nil {
+			d.log.Info("joined fleet",
+				tlog.F("seeds", n), tlog.F("nodes", len(d.fwd.Nodes())),
+				tlog.F("membership_version", d.fwd.MembershipVersion()))
+			return
+		}
+		select {
+		case <-jctx.Done():
+			d.log.Warn("fleet join gave up", tlog.Err(err))
+			return
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
 }
 
 // run is the daemon's whole lifecycle: validate, open, listen, serve

@@ -3,7 +3,9 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,7 +52,13 @@ func TestOptionsValidate(t *testing.T) {
 		{"negative disk bound", func(o *options) { o.diskMax = -1 }, "-cache-disk-bytes"},
 		{"zero drain timeout", func(o *options) { o.drainTimeout = 0 }, "-drain-timeout"},
 		{"peers without self", func(o *options) { o.peers = []string{"http://n2:1"} }, "-self"},
+		{"join without self", func(o *options) { o.join = []string{"http://n2:1"} }, "-self"},
 		{"self without peers", func(o *options) { o.self = "http://n1:1" }, "-peers"},
+		{"join instead of peers", func(o *options) {
+			o.self = "http://n1:1"
+			o.join = []string{"http://n2:1"}
+			o.forwardTimeout = time.Second
+		}, ""},
 		{"fleet ok", func(o *options) {
 			o.self = "http://n1:1"
 			o.peers = []string{"http://n2:1"}
@@ -279,6 +287,83 @@ func TestDaemonFleetWiring(t *testing.T) {
 	}
 	if h.Fleet == nil {
 		t.Fatal("/healthz has no fleet block in fleet mode")
+	}
+}
+
+// TestDaemonJoinWiring boots a two-node fleet statically, then a third
+// daemon with only -self and -join: the joiner must announce itself to
+// the seeds and adopt their node set, so all three converge on one
+// membership view without any restart.
+func TestDaemonJoinWiring(t *testing.T) {
+	lns := make([]net.Listener, 3)
+	urls := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	boot := func(i int, mutate func(*options)) {
+		o := testOptions()
+		o.logger = testLogger(t)
+		o.self = urls[i]
+		o.forwardTimeout = 2 * time.Second
+		o.probeInterval = 0
+		mutate(&o)
+		if err := o.validate(); err != nil {
+			t.Fatal(err)
+		}
+		d, err := newDaemon(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		ln := lns[i]
+		go func() { done <- d.serve(ctx, ln) }()
+		t.Cleanup(func() { cancel(); waitServe(t, done) })
+	}
+	boot(0, func(o *options) { o.peers = urls[:2] })
+	boot(1, func(o *options) { o.peers = urls[:2] })
+	boot(2, func(o *options) { o.join = urls[:2] })
+
+	membership := func(url string) (fleet.Membership, error) {
+		var m fleet.Membership
+		resp, err := http.Get(url + "/v1/fleet/peers")
+		if err != nil {
+			return m, err
+		}
+		defer resp.Body.Close()
+		return m, json.NewDecoder(resp.Body).Decode(&m)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		converged := true
+		for _, url := range urls {
+			m, err := membership(url)
+			if err != nil || len(m.Nodes) != 3 {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			break
+		}
+		if time.Now().After(deadline) {
+			for _, url := range urls {
+				m, err := membership(url)
+				t.Logf("%s: %+v (%v)", url, m, err)
+			}
+			t.Fatal("fleet never converged on 3 nodes after -join")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// The seeds' views were version-bumped by the announcement; the
+	// joiner bumped twice (one AddPeer per adopted seed).
+	if m, err := membership(urls[0]); err != nil || m.Version != 2 {
+		t.Fatalf("seed membership = %+v (%v), want version 2", m, err)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -48,11 +50,14 @@ func listenN(t *testing.T, n int) ([]net.Listener, []string) {
 func startNodes(t *testing.T, n int, tune func(i int, o *Options)) []*testNode {
 	t.Helper()
 	lns, urls := listenN(t, n)
-	return startNodesOn(t, lns, urls, tune)
+	return startNodesOn(t, lns, urls, tune, nil)
 }
 
-// startNodesOn builds one fleet node per pre-opened listener.
-func startNodesOn(t *testing.T, lns []net.Listener, urls []string, tune func(i int, o *Options)) []*testNode {
+// startNodesOn builds one fleet node per pre-opened listener, each
+// serving the sweep API plus the membership admin API (the same mux
+// shape the daemon mounts). svcCfg, when non-nil, tunes each node's
+// service config (e.g. a CacheDir for replication tests).
+func startNodesOn(t *testing.T, lns []net.Listener, urls []string, tune func(i int, o *Options), svcCfg func(i int, c *service.Config)) []*testNode {
 	t.Helper()
 	nodes := make([]*testNode, len(lns))
 	for i := range nodes {
@@ -69,8 +74,18 @@ func startNodesOn(t *testing.T, lns []net.Listener, urls []string, tune func(i i
 		if err != nil {
 			t.Fatal(err)
 		}
-		srv := service.New(service.Config{Workers: 2, QueueDepth: 64, Forwarder: fwd})
-		hs := &http.Server{Handler: srv}
+		cfg := service.Config{Workers: 2, QueueDepth: 64, Forwarder: fwd}
+		if svcCfg != nil {
+			svcCfg(i, &cfg)
+		}
+		srv, err := service.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/v1/fleet/peers", fwd.AdminHandler())
+		mux.Handle("/", srv)
+		hs := &http.Server{Handler: mux}
 		ln := lns[i]
 		go hs.Serve(ln)
 		nodes[i] = &testNode{url: urls[i], srv: srv, fwd: fwd, hs: hs}
@@ -251,6 +266,47 @@ func TestBreakerTransitions(t *testing.T) {
 	}
 	if _, consecutive := b.Snapshot(); consecutive != 0 {
 		t.Fatal("success must reset the failure streak")
+	}
+}
+
+// TestBreakerHalfOpenAdmitsOneTrial races concurrent forwards against
+// a breaker whose cooldown just elapsed: exactly one caller may win
+// the half-open trial slot, no matter how the goroutines interleave.
+// (Run under -race: the transition is a read-check-write that must be
+// atomic under the breaker's lock.)
+func TestBreakerHalfOpenAdmitsOneTrial(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		b := newBreaker(1, time.Minute)
+		clock := time.Unix(1000, 0)
+		var mu sync.Mutex
+		b.now = func() time.Time { mu.Lock(); defer mu.Unlock(); return clock }
+		b.Failure() // threshold 1: open immediately
+		mu.Lock()
+		clock = clock.Add(2 * time.Minute) // cooldown elapsed: next Allow goes half-open
+		mu.Unlock()
+
+		const forwards = 8
+		var admitted atomic.Int32
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for i := 0; i < forwards; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("round %d: %d concurrent forwards admitted %d trials, want exactly 1", round, forwards, n)
+		}
+		if b.State() != circuitHalfOpen {
+			t.Fatalf("round %d: state = %q, want half-open with the trial in flight", round, b.State())
+		}
 	}
 }
 

@@ -1,8 +1,12 @@
 package fleet
 
 import (
+	"context"
+	"math/rand/v2"
 	"sync"
 	"time"
+
+	tlog "hbmvolt/internal/telemetry/log"
 )
 
 // breaker is one peer's circuit breaker. It is fed from two sides —
@@ -107,4 +111,176 @@ func (b *breaker) Snapshot() (state string, consecutive int) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state, b.consecutive
+}
+
+// jitterInterval maps u ∈ [0,1) onto [0.9d, 1.1d): the ±10% spread
+// that keeps N daemons started together from probing in lockstep and
+// synchronizing their circuit-breaker transitions.
+func jitterInterval(d time.Duration, u float64) time.Duration {
+	return time.Duration(float64(d) * (0.9 + 0.2*u))
+}
+
+// probeLoop is the active health checker: every ProbeInterval
+// (jittered ±10% per tick) each peer in the current membership view is
+// probed concurrently (one black-holed peer must not delay the
+// others' probes) and the outcome feeds its breaker. Peers added at
+// runtime are picked up on the next tick.
+func (f *Forwarder) probeLoop() {
+	defer f.wg.Done()
+	timer := time.NewTimer(jitterInterval(f.opts.ProbeInterval, rand.Float64()))
+	defer timer.Stop()
+	for {
+		select {
+		case <-f.stopc:
+			return
+		case <-timer.C:
+		}
+		var wg sync.WaitGroup
+		for _, p := range f.live.Load().peers {
+			wg.Add(1)
+			go func(p *peer) {
+				defer wg.Done()
+				f.probe(p)
+			}(p)
+		}
+		wg.Wait()
+		timer.Reset(jitterInterval(f.opts.ProbeInterval, rand.Float64()))
+	}
+}
+
+// probe checks one peer's liveness. A success closes the peer's
+// circuit (recovery); a failure counts toward opening it.
+func (f *Forwarder) probe(p *peer) {
+	p.probes.Add(1)
+	ctx, cancel := context.WithTimeout(context.Background(), f.opts.ProbeTimeout)
+	defer cancel()
+	if _, err := p.client.Health(ctx); err != nil {
+		p.probeFailures.Add(1)
+		if p.breaker.Failure() {
+			f.log().Warn("peer unhealthy; circuit open",
+				tlog.F("subsys", "fleet"), tlog.F("peer", p.name), tlog.Err(err))
+		}
+		return
+	}
+	if p.breaker.Success() {
+		f.log().Info("peer recovered; circuit closed",
+			tlog.F("subsys", "fleet"), tlog.F("peer", p.name))
+	}
+}
+
+// PeerHealth is one peer's entry in the /healthz fleet block.
+type PeerHealth struct {
+	Peer string `json:"peer"`
+	// Circuit is "closed" (healthy), "open" (failing; forwards skip
+	// straight to local compute until the cooldown) or "half-open"
+	// (cooldown elapsed; one trial in flight).
+	Circuit string `json:"circuit"`
+	// ConsecutiveFailures is the current failure streak feeding the
+	// breaker (reset by any success).
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Probes/ProbeFailures count the active health checker's /healthz
+	// probes of this peer.
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	// Forwards/ForwardFailures count forward attempts to this peer
+	// (failures fail over to the second choice, then local compute).
+	Forwards        uint64 `json:"forwards"`
+	ForwardFailures uint64 `json:"forward_failures"`
+}
+
+// HedgeHealth is the hedged-forwarding block of /healthz: how often a
+// slow or failing forward was raced against the second-choice owner,
+// and who won.
+type HedgeHealth struct {
+	// Launched counts hedges started (delay elapsed or primary failed
+	// with a viable second choice). Launched = Wins + Losses + Failed
+	// once all in-flight hedges settle.
+	Launched uint64 `json:"launched"`
+	// Wins: the second-choice owner's payload served the request.
+	Wins uint64 `json:"wins"`
+	// Losses: the primary answered first after the hedge launched.
+	Losses uint64 `json:"losses"`
+	// Failed: both choices failed and the serve degraded to local.
+	Failed uint64 `json:"failed"`
+}
+
+// ReplicationHealth is the hot-payload replication block of /healthz.
+type ReplicationHealth struct {
+	// BudgetBytes is the byte budget for write-through of forwarded
+	// payloads to the local durable tier (<0 = replication disabled).
+	BudgetBytes int64 `json:"budget_bytes"`
+	// Payloads/Bytes count remote payloads admitted within the budget.
+	Payloads uint64 `json:"payloads"`
+	Bytes    int64  `json:"bytes"`
+	// Skipped counts forwarded payloads past the budget (memory-only).
+	Skipped uint64 `json:"skipped"`
+}
+
+// Health is the /healthz fleet block.
+type Health struct {
+	// Self is this node's canonical name; Nodes the fleet size
+	// (peers + self) in the current membership view.
+	Self  string `json:"self"`
+	Nodes int    `json:"nodes"`
+	// MembershipVersion stamps the copy-on-write membership view; it
+	// bumps on every AddPeer/RemovePeer (admin API or -join).
+	MembershipVersion uint64 `json:"membership_version"`
+	// LocalOwned counts executions this node owned and computed;
+	// Forwarded, executions served by a remote peer (hedge wins
+	// included); and DegradedServes, remote-owned executions served from
+	// local compute because no remote choice was reachable — each
+	// byte-identical to what the owner would have returned.
+	LocalOwned     uint64 `json:"local_owned"`
+	Forwarded      uint64 `json:"forwarded"`
+	DegradedServes uint64 `json:"degraded_serves"`
+	// Hedge reports the second-choice racing counters.
+	Hedge HedgeHealth `json:"hedge"`
+	// Replication reports hot-payload replication: forwarded payloads
+	// written through to this node's durable cache tier under the byte
+	// budget.
+	Replication ReplicationHealth `json:"replication"`
+	// Peers reports each peer's circuit and counters, sorted by name.
+	Peers []PeerHealth `json:"peers"`
+}
+
+// Health implements service.Forwarder's /healthz hook.
+func (f *Forwarder) Health() any {
+	v := f.live.Load()
+	h := Health{
+		Self:              f.self,
+		Nodes:             len(v.nodes),
+		MembershipVersion: v.version,
+		LocalOwned:        f.localOwned.Load(),
+		Forwarded:         f.forwarded.Load(),
+		DegradedServes:    f.degraded.Load(),
+		Hedge: HedgeHealth{
+			Launched: f.hedge.launched.Load(),
+			Wins:     f.hedge.wins.Load(),
+			Losses:   f.hedge.losses.Load(),
+			Failed:   f.hedge.failed.Load(),
+		},
+		Replication: ReplicationHealth{
+			BudgetBytes: f.rep.budget,
+			Payloads:    f.rep.payloads.Load(),
+			Bytes:       f.rep.bytes.Load(),
+			Skipped:     f.rep.skipped.Load(),
+		},
+	}
+	for _, n := range v.nodes {
+		p, ok := v.peers[n]
+		if !ok {
+			continue // self
+		}
+		state, consecutive := p.breaker.Snapshot()
+		h.Peers = append(h.Peers, PeerHealth{
+			Peer:                p.name,
+			Circuit:             state,
+			ConsecutiveFailures: consecutive,
+			Probes:              p.probes.Load(),
+			ProbeFailures:       p.probeFailures.Load(),
+			Forwards:            p.forwards.Load(),
+			ForwardFailures:     p.forwardFailures.Load(),
+		})
+	}
+	return h
 }

@@ -1,0 +1,254 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"hbmvolt/internal/chaos"
+	"hbmvolt/internal/service"
+	tlog "hbmvolt/internal/telemetry/log"
+)
+
+// Dynamic membership: the node set lives behind the forwarder's
+// versioned, copy-on-write view. AddPeer/RemovePeer build a fresh view
+// (unchanged peers keep their structs, so breaker state and counters
+// survive churn) and swap it atomically; every reader — Owner, the
+// forward path, the prober, metrics samplers — sees one consistent
+// snapshot. Rendezvous hashing makes each transition cheap (only ~1/N
+// of keys change owner) and the byte-identical-degradation contract
+// makes it safe: a node holding a stale view at worst forwards to a
+// non-owner, which computes the identical bytes under the loop guard.
+//
+// Chaos sites: "fleet.membership.add", "fleet.membership.remove", and
+// "fleet.join.announce" let fault plans fail mutations or join
+// announcements mid-churn.
+
+// ErrRemoveSelf is returned by RemovePeer for this node's own name.
+var ErrRemoveSelf = errors.New("fleet: cannot remove self from the membership view")
+
+// AddPeer adds a node to the membership view, bumping its version. It
+// reports false (with no version bump) when the node is already a
+// member or is this node itself, so announcements are idempotent.
+func (f *Forwarder) AddPeer(raw string) (bool, error) {
+	name, err := normalizeNode(raw)
+	if err != nil {
+		return false, err
+	}
+	if name == f.self {
+		return false, nil
+	}
+	if err := chaos.Inject("fleet.membership.add"); err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.live.Load()
+	if _, ok := cur.peers[name]; ok {
+		return false, nil
+	}
+	next := cur.clone()
+	next.peers[name] = f.newPeer(name)
+	next.nodes = append(next.nodes, name)
+	sort.Strings(next.nodes)
+	f.live.Store(next)
+	f.log().Info("peer joined the membership view",
+		tlog.F("subsys", "fleet"), tlog.F("peer", name), tlog.F("version", next.version))
+	return true, nil
+}
+
+// RemovePeer removes a node from the membership view, bumping its
+// version. Unknown nodes report false with no version bump; removing
+// self is an error. In-flight forwards to the removed peer finish on
+// their own deadlines; re-adding the peer later starts it with a fresh
+// breaker.
+func (f *Forwarder) RemovePeer(raw string) (bool, error) {
+	name, err := normalizeNode(raw)
+	if err != nil {
+		return false, err
+	}
+	if name == f.self {
+		return false, ErrRemoveSelf
+	}
+	if err := chaos.Inject("fleet.membership.remove"); err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.live.Load()
+	if _, ok := cur.peers[name]; !ok {
+		return false, nil
+	}
+	next := cur.clone()
+	delete(next.peers, name)
+	next.nodes = next.nodes[:0]
+	for n := range next.peers {
+		next.nodes = append(next.nodes, n)
+	}
+	next.nodes = append(next.nodes, f.self)
+	sort.Strings(next.nodes)
+	f.live.Store(next)
+	f.log().Info("peer left the membership view",
+		tlog.F("subsys", "fleet"), tlog.F("peer", name), tlog.F("version", next.version))
+	return true, nil
+}
+
+// clone copies a view with the version bumped; the caller mutates the
+// copy before storing it. Peer structs are shared, not copied — their
+// breakers and counters survive membership churn.
+func (v *view) clone() *view {
+	next := &view{
+		version: v.version + 1,
+		nodes:   append([]string(nil), v.nodes...),
+		peers:   make(map[string]*peer, len(v.peers)+1),
+	}
+	for n, p := range v.peers {
+		next.peers[n] = p
+	}
+	return next
+}
+
+// MembershipVersion returns the current view's version (1 at boot;
+// bumps on every successful AddPeer/RemovePeer).
+func (f *Forwarder) MembershipVersion() uint64 {
+	return f.live.Load().version
+}
+
+// Membership is the admin API's view of the node set — the
+// GET/POST/DELETE /v1/fleet/peers response body.
+type Membership struct {
+	Self    string   `json:"self"`
+	Version uint64   `json:"version"`
+	Nodes   []string `json:"nodes"`
+}
+
+// Membership snapshots the current view for the admin API.
+func (f *Forwarder) Membership() Membership {
+	v := f.live.Load()
+	return Membership{
+		Self:    f.self,
+		Version: v.version,
+		Nodes:   append([]string(nil), v.nodes...),
+	}
+}
+
+// peerBody is the POST /v1/fleet/peers request body.
+type peerBody struct {
+	Peer string `json:"peer"`
+}
+
+// AdminHandler serves the membership admin API:
+//
+//	GET    /v1/fleet/peers        current membership view (self, version, nodes)
+//	POST   /v1/fleet/peers        add {"peer":"http://host:port"} to the view
+//	DELETE /v1/fleet/peers?peer=  remove a node from the view
+//
+// Mutations answer with the updated view, so a joining node can adopt
+// the seed's whole node set from the announcement's response. The
+// daemon mounts this on its mux in fleet mode.
+func (f *Forwarder) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/fleet/peers", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, f.Membership())
+	})
+	mux.HandleFunc("POST /v1/fleet/peers", func(w http.ResponseWriter, r *http.Request) {
+		var body peerBody
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil || body.Peer == "" {
+			service.WriteError(w, http.StatusBadRequest, `want body {"peer":"http://host:port"}`)
+			return
+		}
+		if _, err := f.AddPeer(body.Peer); err != nil {
+			service.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, f.Membership())
+	})
+	mux.HandleFunc("DELETE /v1/fleet/peers", func(w http.ResponseWriter, r *http.Request) {
+		raw := r.URL.Query().Get("peer")
+		if raw == "" {
+			service.WriteError(w, http.StatusBadRequest, "want ?peer=http://host:port")
+			return
+		}
+		if _, err := f.RemovePeer(raw); err != nil {
+			service.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, f.Membership())
+	})
+	return mux
+}
+
+// Join announces this node to every seed (POST /v1/fleet/peers on
+// each) and adopts each answering seed's membership view, so one
+// -join flag bootstraps the full node set with no restarts anywhere.
+// It returns how many seeds acknowledged; reaching none is an error
+// (the caller retries — seeds may still be booting).
+func (f *Forwarder) Join(ctx context.Context, seeds []string) (int, error) {
+	body, err := json.Marshal(peerBody{Peer: f.self})
+	if err != nil {
+		return 0, err
+	}
+	reached := 0
+	var lastErr error
+	for _, raw := range seeds {
+		seed, err := normalizeNode(raw)
+		if err != nil {
+			return reached, err
+		}
+		if seed == f.self {
+			continue
+		}
+		m, err := f.announce(ctx, seed, body)
+		if err != nil {
+			lastErr = err
+			f.log().Warn("join announcement failed",
+				tlog.F("subsys", "fleet"), tlog.F("seed", seed), tlog.Err(err))
+			continue
+		}
+		reached++
+		// Adopt the seed's whole node set (which now includes us): the
+		// seed's peers become ours, so every node routes on one view.
+		for _, n := range m.Nodes {
+			if _, err := f.AddPeer(n); err != nil {
+				return reached, err
+			}
+		}
+	}
+	if reached == 0 && lastErr != nil {
+		return 0, fmt.Errorf("fleet: join reached no seed: %w", lastErr)
+	}
+	return reached, nil
+}
+
+// announce POSTs this node to one seed's admin API and decodes the
+// seed's updated membership view.
+func (f *Forwarder) announce(ctx context.Context, seed string, body []byte) (Membership, error) {
+	if err := chaos.Inject("fleet.join.announce"); err != nil {
+		return Membership{}, err
+	}
+	cctx, cancel := context.WithTimeout(ctx, f.opts.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost, seed+"/v1/fleet/peers", bytes.NewReader(body))
+	if err != nil {
+		return Membership{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := f.httpc.Do(req)
+	if err != nil {
+		return Membership{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Membership{}, fmt.Errorf("fleet: announce to %s: HTTP %d", seed, resp.StatusCode)
+	}
+	var m Membership
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return Membership{}, fmt.Errorf("fleet: announce to %s: %w", seed, err)
+	}
+	return m, nil
+}

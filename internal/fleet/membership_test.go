@@ -1,0 +1,296 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"hbmvolt/internal/chaos"
+)
+
+func TestMembershipMutations(t *testing.T) {
+	f, err := New(Options{Self: "http://n1:1", Peers: []string{"http://n2:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if v := f.MembershipVersion(); v != 1 {
+		t.Fatalf("boot version = %d, want 1", v)
+	}
+	existing, _ := f.live.Load().peers["http://n2:1"]
+
+	if ok, err := f.AddPeer("http://n3:1/"); err != nil || !ok {
+		t.Fatalf("AddPeer = %v, %v; want a version-bumping add", ok, err)
+	}
+	if v := f.MembershipVersion(); v != 2 {
+		t.Fatalf("version after add = %d, want 2", v)
+	}
+	// Idempotent re-add and self-add: no-ops, no version bump.
+	if ok, err := f.AddPeer("http://n3:1"); err != nil || ok {
+		t.Fatalf("duplicate AddPeer = %v, %v; want a no-op", ok, err)
+	}
+	if ok, err := f.AddPeer("http://n1:1"); err != nil || ok {
+		t.Fatalf("self AddPeer = %v, %v; want a no-op", ok, err)
+	}
+	if _, err := f.AddPeer("not a url"); err == nil {
+		t.Fatal("AddPeer must reject an unparseable node")
+	}
+	if v := f.MembershipVersion(); v != 2 {
+		t.Fatalf("version after no-ops = %d, want still 2", v)
+	}
+	// The pre-existing peer's struct survived the mutation: breaker
+	// state and counters never reset on unrelated churn.
+	if got := f.live.Load().peers["http://n2:1"]; got != existing {
+		t.Fatal("membership mutation rebuilt an unrelated peer's state")
+	}
+
+	if ok, err := f.RemovePeer("http://n2:1"); err != nil || !ok {
+		t.Fatalf("RemovePeer = %v, %v; want a version-bumping remove", ok, err)
+	}
+	if v := f.MembershipVersion(); v != 3 {
+		t.Fatalf("version after remove = %d, want 3", v)
+	}
+	if ok, err := f.RemovePeer("http://n2:1"); err != nil || ok {
+		t.Fatalf("unknown RemovePeer = %v, %v; want a no-op", ok, err)
+	}
+	if _, err := f.RemovePeer("http://n1:1"); !errors.Is(err, ErrRemoveSelf) {
+		t.Fatalf("self RemovePeer error = %v, want ErrRemoveSelf", err)
+	}
+	m := f.Membership()
+	if m.Version != 3 || len(m.Nodes) != 2 || m.Nodes[0] != "http://n1:1" || m.Nodes[1] != "http://n3:1" {
+		t.Fatalf("membership = %+v, want version 3 over {n1, n3}", m)
+	}
+}
+
+// TestOwnerMovementOnJoinLeave pins the rendezvous churn guarantee the
+// tentpole rests on: a join moves keys only TO the new node (~1/N of
+// them), a leave moves only the leaver's keys — every other key keeps
+// its owner, so caches stay hot through membership changes.
+func TestOwnerMovementOnJoinLeave(t *testing.T) {
+	f, err := New(Options{Self: "http://n1:1", Peers: []string{"http://n2:1", "http://n3:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	const keys = 4000
+	before := make([]string, keys)
+	for k := range before {
+		before[k] = f.Owner(uint64(k) * 0x9e3779b97f4a7c15)
+	}
+
+	if _, err := f.AddPeer("http://n4:1"); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for k := range before {
+		after := f.Owner(uint64(k) * 0x9e3779b97f4a7c15)
+		if after == before[k] {
+			continue
+		}
+		if after != "http://n4:1" {
+			t.Fatalf("key %d moved %s → %s on a join: keys may only move to the joiner", k, before[k], after)
+		}
+		moved++
+	}
+	// Expect ~1/4 of keys on the new node; allow a generous band.
+	if moved < keys/8 || moved > keys/2 {
+		t.Fatalf("join moved %d/%d keys, want ~1/4", moved, keys)
+	}
+
+	joined := make([]string, keys)
+	for k := range joined {
+		joined[k] = f.Owner(uint64(k) * 0x9e3779b97f4a7c15)
+	}
+	if _, err := f.RemovePeer("http://n4:1"); err != nil {
+		t.Fatal(err)
+	}
+	for k := range joined {
+		after := f.Owner(uint64(k) * 0x9e3779b97f4a7c15)
+		if joined[k] == "http://n4:1" {
+			if after != before[k] {
+				t.Fatalf("key %d landed on %s after the leave, want its pre-join owner %s", k, after, before[k])
+			}
+			continue
+		}
+		if after != joined[k] {
+			t.Fatalf("key %d moved %s → %s although its owner stayed", k, joined[k], after)
+		}
+	}
+}
+
+// TestAdminHandler drives the membership admin API over HTTP: reads,
+// mutations answering with the updated view, and the error cases.
+func TestAdminHandler(t *testing.T) {
+	f, err := New(Options{Self: "http://n1:1", Peers: []string{"http://n2:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ts := httptest.NewServer(f.AdminHandler())
+	defer ts.Close()
+
+	getView := func(resp *http.Response, err error) Membership {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d", resp.StatusCode)
+		}
+		var m Membership
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	if m := getView(http.Get(ts.URL + "/v1/fleet/peers")); m.Version != 1 || len(m.Nodes) != 2 || m.Self != "http://n1:1" {
+		t.Fatalf("GET view = %+v, want boot view over {n1, n2}", m)
+	}
+
+	body, _ := json.Marshal(map[string]string{"peer": "http://n3:1"})
+	if m := getView(http.Post(ts.URL+"/v1/fleet/peers", "application/json", bytes.NewReader(body))); m.Version != 2 || len(m.Nodes) != 3 {
+		t.Fatalf("POST view = %+v, want version 2 over 3 nodes", m)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet/peers?peer="+url.QueryEscape("http://n2:1"), nil)
+	if m := getView(http.DefaultClient.Do(req)); m.Version != 3 || len(m.Nodes) != 2 {
+		t.Fatalf("DELETE view = %+v, want version 3 over 2 nodes", m)
+	}
+
+	for name, do := range map[string]func() (*http.Response, error){
+		"post without body": func() (*http.Response, error) {
+			return http.Post(ts.URL+"/v1/fleet/peers", "application/json", bytes.NewReader(nil))
+		},
+		"post bad node": func() (*http.Response, error) {
+			b, _ := json.Marshal(map[string]string{"peer": "not a url"})
+			return http.Post(ts.URL+"/v1/fleet/peers", "application/json", bytes.NewReader(b))
+		},
+		"delete without peer": func() (*http.Response, error) {
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet/peers", nil)
+			return http.DefaultClient.Do(req)
+		},
+		"delete self": func() (*http.Response, error) {
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/fleet/peers?peer="+url.QueryEscape("http://n1:1"), nil)
+			return http.DefaultClient.Do(req)
+		},
+	} {
+		resp, err := do()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: HTTP %d, want 400", name, resp.StatusCode)
+		}
+	}
+	if v := f.MembershipVersion(); v != 3 {
+		t.Fatalf("version after rejected requests = %d, want still 3", v)
+	}
+}
+
+// TestMembershipChurnFaultPlan arms the churn chaos sites: a failed
+// mutation must leave the view untouched (no version bump, no partial
+// node list) and a failed join announcement must surface so the
+// caller's retry loop gets another pass — first retry succeeds on all
+// three sites.
+func TestMembershipChurnFaultPlan(t *testing.T) {
+	t.Run("mutations", func(t *testing.T) {
+		plan := chaos.NewPlan().
+			Set("fleet.membership.add", chaos.Fault{Err: errors.New("injected add failure"), Count: 1}).
+			Set("fleet.membership.remove", chaos.Fault{Err: errors.New("injected remove failure"), Count: 1})
+		defer chaos.Activate(plan)()
+		f, err := New(Options{Self: "http://n1:1", Peers: []string{"http://n2:1"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+
+		if _, err := f.AddPeer("http://n3:1"); err == nil {
+			t.Fatal("armed add site must fail the mutation")
+		}
+		if v := f.MembershipVersion(); v != 1 {
+			t.Fatalf("version after failed add = %d, want 1 (failed mutations must not bump)", v)
+		}
+		if ok, err := f.AddPeer("http://n3:1"); err != nil || !ok {
+			t.Fatalf("add retry = %v, %v; want success once the fault window closed", ok, err)
+		}
+		if _, err := f.RemovePeer("http://n2:1"); err == nil {
+			t.Fatal("armed remove site must fail the mutation")
+		}
+		if len(f.Membership().Nodes) != 3 {
+			t.Fatal("failed remove must leave the node list intact")
+		}
+		if ok, err := f.RemovePeer("http://n2:1"); err != nil || !ok {
+			t.Fatalf("remove retry = %v, %v; want success", ok, err)
+		}
+		if plan.Fired("fleet.membership.add") != 1 || plan.Fired("fleet.membership.remove") != 1 {
+			t.Fatal("both mutation sites must have fired exactly once")
+		}
+	})
+
+	t.Run("join-announce", func(t *testing.T) {
+		plan := chaos.NewPlan().
+			Set("fleet.join.announce", chaos.Fault{Err: errors.New("injected announce failure"), Count: 1})
+		defer chaos.Activate(plan)()
+		seeds := startNodes(t, 1, nil)
+		joiner, err := New(Options{Self: "http://127.0.0.1:1", ForwardTimeout: time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer joiner.Close()
+		if n, err := joiner.Join(t.Context(), []string{seeds[0].url}); err == nil || n != 0 {
+			t.Fatalf("Join under an armed announce site = %d, %v; want failure", n, err)
+		}
+		if n, err := joiner.Join(t.Context(), []string{seeds[0].url}); err != nil || n != 1 {
+			t.Fatalf("Join retry = %d, %v; want the seed reached", n, err)
+		}
+		if len(joiner.Membership().Nodes) != 2 {
+			t.Fatal("retried join must adopt the seed")
+		}
+	})
+}
+
+// TestJoinAdoptsSeedMembership runs the -join bootstrap against live
+// nodes: the joiner announces itself to both seeds and walks away with
+// the seeds' full node set; the seeds gained exactly the joiner.
+func TestJoinAdoptsSeedMembership(t *testing.T) {
+	seeds := startNodes(t, 2, nil)
+	joiner, err := New(Options{Self: "http://127.0.0.1:1", ForwardTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Close()
+
+	n, err := joiner.Join(t.Context(), []string{seeds[0].url, seeds[1].url})
+	if err != nil || n != 2 {
+		t.Fatalf("Join = %d, %v; want both seeds reached", n, err)
+	}
+	if m := joiner.Membership(); len(m.Nodes) != 3 {
+		t.Fatalf("joiner membership = %+v, want all 3 nodes adopted", m)
+	}
+	for _, s := range seeds {
+		m := s.fwd.Membership()
+		if len(m.Nodes) != 3 || m.Version != 2 {
+			t.Fatalf("seed %s membership = %+v, want 3 nodes at version 2", s.url, m)
+		}
+	}
+
+	// No seed reachable: Join reports the failure so the daemon's retry
+	// loop keeps trying instead of silently running solo.
+	lone, err := New(Options{Self: "http://127.0.0.1:1", ForwardTimeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lone.Close()
+	if n, err := lone.Join(t.Context(), []string{"http://127.0.0.1:9"}); err == nil || n != 0 {
+		t.Fatalf("Join against a dead seed = %d, %v; want an error", n, err)
+	}
+}

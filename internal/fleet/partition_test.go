@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
+	"net/url"
 	"sync"
 	"testing"
 	"time"
@@ -87,7 +89,7 @@ func startPartitionFleet(t *testing.T, tune func(i int, o *Options)) ([]*testNod
 		}
 		router.Close()
 		if owned[urls[0]] > 0 && owned[urls[1]] > 0 && owned[urls[2]] > 0 {
-			return startNodesOn(t, lns, urls, tune), owned
+			return startNodesOn(t, lns, urls, tune, nil), owned
 		}
 		for _, ln := range lns {
 			ln.Close()
@@ -172,6 +174,112 @@ func TestPartitionedOwnerManifestByteIdentical(t *testing.T) {
 				t.Fatalf("/healthz fleet block = %+v, want %d degraded serves and 2 peers", hb.Fleet, remote)
 			}
 		})
+	}
+}
+
+// TestJoinLeaveMidCampaign churns membership while a campaign runs: a
+// fourth node joins through the admin API after the second cell, and a
+// founding peer is removed after the fourth. Rendezvous routing moves
+// only the affected keys, every serve stays byte-identical, and the
+// manifest cannot tell the churn happened.
+func TestJoinLeaveMidCampaign(t *testing.T) {
+	golden := goldenManifest(t)
+
+	// A 3-node founding fleet with cell ownership spread over all three,
+	// plus a 4th listener for the joiner.
+	spec := partitionSpec()
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []*testNode
+	var urls []string
+	for attempt := 0; ; attempt++ {
+		if attempt == 64 {
+			t.Fatal("no port draw spread cell ownership over all 3 founding nodes in 64 attempts")
+		}
+		var lns []net.Listener
+		lns, urls = listenN(t, 4)
+		router, err := New(Options{Self: urls[0], Peers: urls[:3]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owned := make(map[string]int)
+		for _, c := range cells {
+			owned[router.Owner(c.Key)]++
+		}
+		router.Close()
+		if owned[urls[0]] > 0 && owned[urls[1]] > 0 && owned[urls[2]] > 0 {
+			tune := func(i int, o *Options) { o.ForwardTimeout = 300 * time.Millisecond }
+			nodes = startNodesOn(t, lns[:3], urls[:3], tune, nil)
+			// The joiner knows the whole fleet; the founders learn of it
+			// only through the admin API mid-campaign.
+			joiner := startNodesOn(t, lns[3:], urls[3:], func(i int, o *Options) {
+				o.Peers = urls
+				o.ForwardTimeout = 300 * time.Millisecond
+			}, nil)
+			nodes = append(nodes, joiner[0])
+			break
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+
+	adminPost := func(nodeURL, peer string) {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"peer": peer})
+		resp, err := http.Post(nodeURL+"/v1/fleet/peers", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /v1/fleet/peers = HTTP %d", resp.StatusCode)
+		}
+	}
+	adminDelete := func(nodeURL, peer string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, nodeURL+"/v1/fleet/peers?peer="+url.QueryEscape(peer), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("DELETE /v1/fleet/peers = HTTP %d", resp.StatusCode)
+		}
+	}
+
+	manifest := runCampaign(t, nodes[0], campaign.Options{
+		OnCell: func(done, total int) {
+			switch done {
+			case 2:
+				adminPost(nodes[0].url, urls[3])
+			case 4:
+				adminDelete(nodes[0].url, urls[1])
+			}
+		},
+	})
+	if !bytes.Equal(manifest, golden) {
+		t.Fatalf("manifest with join+leave mid-campaign differs from single-node golden:\n fleet: %s\ngolden: %s", manifest, golden)
+	}
+	if v := nodes[0].fwd.MembershipVersion(); v != 3 {
+		t.Fatalf("membership version = %d, want 3 (boot + join + leave)", v)
+	}
+	m := nodes[0].fwd.Membership()
+	if len(m.Nodes) != 3 {
+		t.Fatalf("membership = %+v, want 3 nodes (4th joined, founder left)", m)
+	}
+	h := nodes[0].fwd.Health().(Health)
+	if h.LocalOwned+h.Forwarded+h.DegradedServes != 6 {
+		t.Fatalf("health = %+v, want counters summing to the campaign's 6 cells", h)
 	}
 }
 

@@ -154,11 +154,12 @@ func TestTracePropagatesAcrossForward(t *testing.T) {
 	}
 }
 
-// TestTraceSurvivesDegradedServes pins the partitioned paths: when the
-// owner is down the degraded serve keeps the trace on the forwarder's
-// span records and its structured fleet logs; when the transfer severs
-// mid-body the owner has already adopted the trace, so one ID ends up
-// on both nodes' records even though the forward failed.
+// TestTraceSurvivesDegradedServes pins the partitioned paths: when
+// every remote choice is down the degraded serve keeps the trace on
+// the forwarder's span records and its structured fleet logs; when the
+// transfer severs mid-body the owner has already adopted the trace, so
+// one ID ends up on both nodes' records even though the forward
+// failed.
 func TestTraceSurvivesDegradedServes(t *testing.T) {
 	t.Run("owner-down", func(t *testing.T) {
 		logs := &logBuffer{}
@@ -172,7 +173,11 @@ func TestTraceSurvivesDegradedServes(t *testing.T) {
 		seed := seedOwnedBy(t, nodes[0].fwd, nodes[1].url)
 		req := smallReq(seed)
 		want := localPayload(t, req)
+		// Kill both remote nodes: hedged failover would otherwise rescue
+		// the serve through the second choice, and this test pins the
+		// path where no remote is left and the serve degrades.
 		nodes[1].kill()
+		nodes[2].kill()
 
 		c := tracedClient(nodes[0].url, trace)
 		sub, err := c.Submit(t.Context(), req)

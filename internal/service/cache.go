@@ -187,6 +187,17 @@ func (c *resultCache) Put(key uint64, payload []byte) {
 	}
 }
 
+// PutMemory stores a payload in the memory tier only, leaving the
+// durable tier untouched. The manager uses it for forwarded payloads
+// the fleet did not admit for replication: the bytes stay servable
+// while hot, but never charge the disk tier — the owner's durable
+// copy remains the canonical one.
+func (c *resultCache) PutMemory(key uint64, payload []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tiers[0].Put(key, payload)
+}
+
 // Touch records a served-from-cache event for a payload that may or may
 // not still be resident: resident entries are refreshed, evicted ones
 // re-inserted (write-through, so the disk tier re-durables a payload

@@ -45,6 +45,12 @@ type Client struct {
 	// PollInterval paces Wait's status-polling fallback after a dropped
 	// event stream (0 → 250ms).
 	PollInterval time.Duration
+	// WaitTimeout bounds Wait's status-polling fallback end to end
+	// (0 → 15m; negative → unbounded, the pre-bound behavior). A job
+	// stuck non-terminal past the deadline surfaces ErrWaitTimeout
+	// instead of polling forever — the job keeps running server-side and
+	// its id stays valid for a later Status or Wait.
+	WaitTimeout time.Duration
 	// Jitter draws the random extra backoff added to each retry step,
 	// returning a duration in [0, max). Nil uses math/rand/v2 — the
 	// production default that desynchronizes a fan-out of clients
@@ -279,6 +285,13 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(Event) error) er
 // callers can branch to resubmit-by-key recovery.
 var ErrJobLost = errors.New("service: job lost (server no longer knows the id)")
 
+// ErrWaitTimeout reports that Wait's status-polling fallback ran out
+// its WaitTimeout with the job still non-terminal. Unlike ErrJobLost
+// the job id is still valid: the caller may keep waiting with a fresh
+// Wait/Status call, or Cancel the job. Distinct from a caller-side
+// context cancellation, which Wait surfaces as ctx.Err().
+var ErrWaitTimeout = errors.New("service: wait deadline exceeded with job still running")
+
 // Wait blocks until the job reaches a terminal state and returns it.
 // It prefers the NDJSON event stream (cheap, push-based); if the stream
 // disconnects mid-job — server restart, dropped connection, proxy
@@ -288,7 +301,9 @@ var ErrJobLost = errors.New("service: job lost (server no longer knows the id)")
 // vanished with its job table — Wait returns ErrJobLost immediately
 // rather than polling a dead id, and the caller recovers by
 // resubmitting the request (identical bytes, by the determinism
-// contract).
+// contract). The polling fallback is bounded by WaitTimeout (default
+// 15m): a job that never goes terminal surfaces ErrWaitTimeout rather
+// than pinning the caller forever.
 func (c *Client) Wait(ctx context.Context, id string) (JobState, error) {
 	last := JobState("")
 	// The stream error is deliberately ignored: whether it died with a
@@ -310,6 +325,12 @@ func (c *Client) Wait(ctx context.Context, id string) (JobState, error) {
 	if interval <= 0 {
 		interval = 250 * time.Millisecond
 	}
+	var deadline <-chan time.Time
+	if wt := c.waitTimeout(); wt > 0 {
+		timer := time.NewTimer(wt)
+		defer timer.Stop()
+		deadline = timer.C
+	}
 	for {
 		st, err := c.Status(ctx, id)
 		if err != nil {
@@ -324,10 +345,24 @@ func (c *Client) Wait(ctx context.Context, id string) (JobState, error) {
 		}
 		select {
 		case <-time.After(interval):
+		case <-deadline:
+			return "", fmt.Errorf("waiting for %s: %w", id, ErrWaitTimeout)
 		case <-ctx.Done():
 			return "", ctx.Err()
 		}
 	}
+}
+
+// waitTimeout resolves the Wait polling bound: the configured value,
+// 15 minutes by default, unbounded when negative.
+func (c *Client) waitTimeout() time.Duration {
+	if c.WaitTimeout < 0 {
+		return 0
+	}
+	if c.WaitTimeout == 0 {
+		return 15 * time.Minute
+	}
+	return c.WaitTimeout
 }
 
 // Cancel requests cancellation and returns the job's status.

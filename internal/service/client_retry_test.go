@@ -202,6 +202,58 @@ func TestClientWaitFallsBackToPolling(t *testing.T) {
 	}
 }
 
+// TestClientWaitTimeoutBoundsPolling runs Wait against a server whose
+// job never terminates — the stream ends with no terminal event and
+// Status reports running forever. The polling fallback must give up at
+// WaitTimeout with the typed ErrWaitTimeout, while a caller-side
+// cancellation still surfaces as the context's error.
+func TestClientWaitTimeoutBoundsPolling(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/sweeps/j1/events", func(w http.ResponseWriter, r *http.Request) {
+		// The stream ends cleanly with the job still mid-flight.
+	})
+	mux.HandleFunc("GET /v1/sweeps/j1", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, JobStatus{ID: "j1", State: StateRunning})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+	c.WaitTimeout = 150 * time.Millisecond
+	start := time.Now()
+	_, err := c.Wait(t.Context(), "j1")
+	if !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("Wait on a never-terminal job = %v, want ErrWaitTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond || elapsed > 5*time.Second {
+		t.Fatalf("Wait gave up after %v, want about the 150ms bound", elapsed)
+	}
+
+	c2 := NewClient(ts.URL)
+	c2.PollInterval = 5 * time.Millisecond
+	ctx, cancel := context.WithTimeout(t.Context(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := c2.Wait(ctx, "j1"); errors.Is(err, ErrWaitTimeout) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("caller-cancelled Wait = %v, want the context error, not ErrWaitTimeout", err)
+	}
+}
+
+func TestClientWaitTimeoutDefaults(t *testing.T) {
+	c := &Client{}
+	if got := c.waitTimeout(); got != 15*time.Minute {
+		t.Fatalf("default wait bound = %v, want 15m", got)
+	}
+	c.WaitTimeout = -1
+	if got := c.waitTimeout(); got != 0 {
+		t.Fatalf("negative WaitTimeout = %v, want 0 (unbounded)", got)
+	}
+	c.WaitTimeout = time.Second
+	if got := c.waitTimeout(); got != time.Second {
+		t.Fatalf("explicit WaitTimeout = %v, want it verbatim", got)
+	}
+}
+
 // TestClientWaitStreamStillPreferred pins that the happy path is
 // untouched: with no fault armed, Wait consumes the terminal event from
 // the stream and never needs Status.

@@ -16,6 +16,13 @@ type ServeInfo struct {
 	// either way; Degraded only marks that availability, not
 	// correctness, took the hit.
 	Degraded bool
+	// Replicated is true when the payload came from a remote peer and
+	// the forwarder admitted it (within its replica byte budget) for
+	// write-through to this node's durable cache tier. The Manager honors
+	// it in runJob: admitted payloads go through every cache tier, so a
+	// later owner failure serves the key from local disk without a sweep;
+	// non-admitted remote payloads stay memory-only.
+	Replicated bool
 }
 
 // Forwarder routes sweep executions across a fleet sharing one logical

@@ -839,7 +839,16 @@ func (m *Manager) runJob(j *Job) {
 	var final JobState
 	switch {
 	case err == nil:
-		m.cache.Put(j.Key, payload)
+		// Locally computed payloads (and fleet-admitted remote ones) go
+		// write-through to every tier; a forwarded payload the fleet did
+		// not admit for replication stays memory-only, so the replica byte
+		// budget actually bounds what remote data lands on local disk.
+		if info := j.ServeInfo(); m.forward != nil && info.ServedBy != "" &&
+			info.ServedBy != m.forward.Self() && !info.Replicated {
+			m.cache.PutMemory(j.Key, payload)
+		} else {
+			m.cache.Put(j.Key, payload)
+		}
 		j.finish(StateDone, payload, "")
 		final = StateDone
 		m.met.payloadBytes.Observe(float64(len(payload)))
